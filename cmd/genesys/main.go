@@ -1,0 +1,103 @@
+// Command genesys drives the GENESYS reproduction: it regenerates the
+// paper's tables and figures, prints the system call classification, and
+// describes the simulated platform.
+//
+// Usage:
+//
+//	genesys run all            # regenerate every table and figure
+//	genesys run fig7 fig13b    # regenerate specific experiments
+//	genesys run -runs 10 fig8  # more repetitions (tighter error bars)
+//	genesys list               # list experiment IDs
+//	genesys classify           # full syscall classification (§IV)
+//	genesys platform           # Table III analogue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"genesys/internal/experiments"
+	"genesys/internal/platform"
+	"genesys/internal/syscalls"
+	"genesys/internal/workloads"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  genesys run [-runs N] [-seed S] <experiment|all> [...]
+  genesys list
+  genesys classify
+  genesys apps
+  genesys platform
+
+experiments: %v
+`, experiments.IDs())
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case "classify":
+		classifyCmd()
+	case "apps":
+		fmt.Print(workloads.RenderTableI())
+	case "platform":
+		m := platform.New(platform.DefaultConfig())
+		fmt.Println(m.Describe())
+		m.Shutdown()
+	default:
+		usage()
+	}
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	runs := fs.Int("runs", 3, "seeded repetitions per data point")
+	seed := fs.Int64("seed", 1, "base seed")
+	_ = fs.Parse(args)
+	ids := fs.Args()
+	if len(ids) == 0 {
+		usage()
+	}
+	o := experiments.Options{Runs: *runs, BaseSeed: *seed}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		fn, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tbl := fn(o)
+		fmt.Println(tbl.Render())
+		fmt.Printf("  (regenerated in %v wall time, %d run(s)/point)\n\n",
+			time.Since(start).Round(time.Millisecond), *runs)
+	}
+}
+
+func classifyCmd() {
+	fmt.Print(syscalls.ClassificationSummary())
+	fmt.Println()
+	for _, c := range []syscalls.Class{syscalls.ClassHardware, syscalls.ClassExtensive} {
+		fmt.Printf("%s:\n", c)
+		for _, in := range syscalls.Classification() {
+			if in.Class == c {
+				fmt.Printf("  %-24s %s\n", in.Name, in.Reason)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,57 @@
+// Command gsh is a tiny "GPU shell": it populates a simulated machine
+// with demo files and executes classic Unix one-liners as GPU kernels,
+// every byte flowing through GENESYS system calls.
+//
+// Usage:
+//
+//	gsh <command...>        # e.g.  gsh ls /tmp
+//	gsh demo                # runs a scripted tour
+//
+// Commands: cat, df, grep, ls, stat, wc.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"genesys/internal/gsh"
+	"genesys/internal/platform"
+)
+
+func main() {
+	m := platform.New(platform.DefaultConfig())
+	defer m.Shutdown()
+	sh := gsh.New(m)
+
+	// Demo corpus.
+	m.WriteFile("/tmp/motd", []byte("welcome to gsh: a shell whose commands run on the GPU\n"))
+	m.WriteFile("/tmp/poem.txt", []byte("roses are red\nviolets are blue\nGPUs make syscalls\nand so can you\n"))
+
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: gsh <command...> | gsh demo\ncommands:\n%s", gsh.Usage())
+		os.Exit(2)
+	}
+	lines := []string{strings.Join(args, " ")}
+	if args[0] == "demo" {
+		lines = []string{
+			"cat /tmp/motd",
+			"ls /tmp",
+			"wc /tmp/poem.txt",
+			"grep blue /tmp/poem.txt",
+			"stat /tmp/poem.txt",
+			"df",
+		}
+	}
+	for _, line := range lines {
+		fmt.Printf("gsh$ %s\n", line)
+		out, err := sh.Run(line)
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "(exit status: %v)\n", err)
+		}
+	}
+	fmt.Printf("[%d GPU kernels, %d GPU system calls]\n",
+		m.GPU.KernelsLaunched.Value(), m.Genesys.Invocations.Value())
+}

@@ -1,0 +1,70 @@
+// gpupipe demonstrates §IV's "everything is a file" payoff for pipes: a
+// GPU kernel streams results into a pipe created with pipe2(2) while a
+// CPU consumer thread reads the other end concurrently — the classic
+// producer/consumer with the producer running on the GPU and standard
+// POSIX plumbing in between.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genesys"
+	"genesys/internal/gclib"
+	"genesys/internal/gpu"
+	"genesys/internal/syscalls"
+)
+
+func main() {
+	m := genesys.NewMachine(genesys.DefaultConfig())
+	defer m.Shutdown()
+	proc := m.NewProcess("gpupipe")
+	c := gclib.C{G: m.Genesys}
+
+	// Create the pipe from the host via the syscall layer.
+	var rfd, wfd uint64
+	m.E.Spawn("setup", func(p *genesys.Proc) {
+		req := &syscalls.Request{NR: syscalls.SYS_pipe2}
+		syscalls.Dispatch(&syscalls.Ctx{P: p, OS: m.OS, Proc: proc}, req)
+		if req.Err != 0 {
+			log.Fatalf("pipe2: %v", req.Err)
+		}
+		rfd, wfd = req.OutArgs[0], req.OutArgs[1]
+
+		// CPU consumer: reads lines off the pipe as they arrive.
+		var received int
+		proc.Spawn("consumer", func(cp *genesys.Proc) {
+			buf := make([]byte, 256)
+			for {
+				rd := &syscalls.Request{NR: syscalls.SYS_read,
+					Args: [6]uint64{rfd, 256}, Buf: buf}
+				syscalls.Dispatch(&syscalls.Ctx{P: cp, OS: m.OS, Proc: proc}, rd)
+				if rd.Ret <= 0 {
+					fmt.Printf("[cpu] pipe closed after %d bytes\n", received)
+					return
+				}
+				received += int(rd.Ret)
+				fmt.Printf("[cpu] consumed %2d bytes at t=%v: %q\n",
+					rd.Ret, cp.Now(), string(buf[:rd.Ret]))
+			}
+		})
+
+		// GPU producer: eight work-groups each write a record into the
+		// pipe, then the host closes the write end to signal EOF.
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name: "producer", WorkGroups: 8, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				w.ComputeTime(genesys.Time(w.WG.ID+1) * 50 * genesys.Microsecond)
+				c.Write(w, int(wfd), []byte(fmt.Sprintf("result-%d;", w.WG.ID)))
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+		cl := &syscalls.Request{NR: syscalls.SYS_close, Args: [6]uint64{wfd}}
+		syscalls.Dispatch(&syscalls.Ctx{P: p, OS: m.OS, Proc: proc}, cl)
+	})
+
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+// memcached runs the paper's §VIII-D network case study: a binary UDP
+// memcached whose GETs are served either by CPU threads, by a
+// batch-launched GPU (no system calls), or by persistent GPU work-groups
+// invoking sendto/recvfrom directly through GENESYS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genesys"
+	"genesys/internal/workloads"
+)
+
+func main() {
+	fmt.Println("memcached UDP GET, 1024 elements/bucket, 1 KiB values")
+	fmt.Printf("%-16s %14s %14s %16s %10s\n",
+		"variant", "mean lat", "p99 lat", "throughput", "served")
+	for _, v := range []workloads.MemcachedVariant{
+		workloads.MemcachedCPU,
+		workloads.MemcachedGPUNoSyscall,
+		workloads.MemcachedGENESYS,
+	} {
+		m := genesys.NewMachine(genesys.DefaultConfig())
+		res, err := workloads.RunMemcached(m, workloads.DefaultMemcachedConfig(v))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Correct != res.Completed {
+			log.Fatalf("%v: %d replies carried wrong values", v, res.Completed-res.Correct)
+		}
+		fmt.Printf("%-16s %14v %14v %13.1f K/s %10d\n",
+			v, res.MeanLatency, res.P99Latency, res.ThroughputRPS/1000, res.Completed)
+		m.Shutdown()
+	}
+}

@@ -1,0 +1,46 @@
+// signalsearch runs the paper's §VIII-B signals case study: a map-reduce
+// where GPU work-groups search data blocks and notify the CPU of each
+// completed block via rt_sigqueueinfo (the work-group ID rides in
+// si_value), so CPU sha512 checksumming overlaps the GPU search.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"genesys"
+	"genesys/internal/workloads"
+)
+
+func main() {
+	run := func(useSignals bool) workloads.SignalSearchResult {
+		m := genesys.NewMachine(genesys.DefaultConfig())
+		defer m.Shutdown()
+		cfg := workloads.DefaultSignalSearchConfig()
+		cfg.UseSignals = useSignals
+		res, err := workloads.RunSignalSearch(m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(false)
+	overlapped := run(true)
+
+	cfg := workloads.DefaultSignalSearchConfig()
+	for i := 0; i < cfg.Blocks; i++ {
+		want := workloads.ReferenceSha512(cfg.BlockBytes, i)
+		if !bytes.Equal(base.Digests[i], want) || !bytes.Equal(overlapped.Digests[i], want) {
+			log.Fatalf("digest mismatch at block %d", i)
+		}
+	}
+
+	fmt.Printf("baseline (GPU phase, then CPU sha512):  %v\n", base.Runtime)
+	fmt.Printf("GENESYS  (signals overlap the phases):  %v  (%d signals)\n",
+		overlapped.Runtime, overlapped.Signals)
+	fmt.Printf("speedup: %.2fx (paper: ~1.14x)\n",
+		float64(base.Runtime)/float64(overlapped.Runtime))
+	fmt.Printf("all %d sha512 digests verified against reference\n", cfg.Blocks)
+}

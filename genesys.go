@@ -1,0 +1,170 @@
+// Package genesys is a from-scratch Go reproduction of "Generic System
+// Calls for GPUs" (Veselý et al., ISCA 2018): a discrete-event-simulated
+// heterogeneous machine (CPU, GCN3-like GPU, shared memory system,
+// Linux-like kernel, tmpfs + SSD filesystems, UDP network stack, virtual
+// memory, signals) with the paper's GENESYS layer — generic POSIX system
+// call invocation from GPU code — implemented on top, plus every workload
+// and experiment from the paper's evaluation.
+//
+// This package is the public facade. A minimal program:
+//
+//	m := genesys.NewMachine(genesys.DefaultConfig())
+//	defer m.Shutdown()
+//	proc := m.NewProcess("app")
+//	_ = proc
+//	m.E.Spawn("host", func(p *genesys.Proc) {
+//	    k := m.GPU.Launch(p, genesys.Kernel{
+//	        Name: "hello", WorkGroups: 4, WGSize: 256,
+//	        Fn: func(w *genesys.Wavefront) {
+//	            line := []byte("hello from the GPU\n")
+//	            m.Genesys.InvokeWG(w, genesys.Request{
+//	                NR:   genesys.SYS_write,
+//	                Args: [6]uint64{1, uint64(len(line))},
+//	                Buf:  line,
+//	            }, genesys.Options{Blocking: true, Ordering: genesys.Relaxed,
+//	                Kind: genesys.Consumer})
+//	        },
+//	    })
+//	    k.Wait(p)
+//	})
+//	if err := m.Run(); err != nil { ... }
+//	fmt.Print(m.OS.Console.Contents())
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the system inventory.
+package genesys
+
+import (
+	"genesys/internal/core"
+	"genesys/internal/errno"
+	"genesys/internal/fs"
+	"genesys/internal/gclib"
+	"genesys/internal/gpu"
+	"genesys/internal/oskern"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+)
+
+// Machine is the fully assembled simulated system (Table III analogue).
+type Machine = platform.Machine
+
+// Config aggregates every subsystem's configuration.
+type Config = platform.Config
+
+// Proc is a simulated thread of execution.
+type Proc = sim.Proc
+
+// Time is virtual time in nanoseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// GPU execution model.
+type (
+	// Kernel describes a GPU grid to launch.
+	Kernel = gpu.Kernel
+	// KernelRun is a launched kernel handle.
+	KernelRun = gpu.KernelRun
+	// Wavefront is a resident SIMD-64 wavefront executing a kernel body.
+	Wavefront = gpu.Wavefront
+	// WorkGroup is one resident work-group.
+	WorkGroup = gpu.WorkGroup
+)
+
+// GENESYS system call interface.
+type (
+	// Request is one system call: number, arguments and syscall buffer.
+	Request = syscalls.Request
+	// Options selects blocking, ordering, kind and wait mode.
+	Options = core.Options
+	// Result is a completed call's return value and errno.
+	Result = core.Result
+	// Errno is a Linux-style error number.
+	Errno = errno.Errno
+	// Process is a CPU process — the kernel context GPU syscalls borrow.
+	Process = oskern.Process
+)
+
+// Invocation strategy constants (§V).
+const (
+	// Strong ordering: barriers on both sides of the call.
+	Strong = core.Strong
+	// Relaxed ordering: one barrier elided according to Kind.
+	Relaxed = core.Relaxed
+	// Consumer calls (write-like) keep only the pre-call barrier.
+	Consumer = core.Consumer
+	// Producer calls (read-like) keep only the post-call barrier.
+	Producer = core.Producer
+	// WaitPoll spins on the syscall-area slot.
+	WaitPoll = core.WaitPoll
+	// WaitHaltResume halts the wavefront until the CPU's doorbell.
+	WaitHaltResume = core.WaitHaltResume
+)
+
+// ErrKernelStrongOrdering rejects the deadlocking combination of strong
+// ordering with kernel-granularity invocation (§V-A).
+var ErrKernelStrongOrdering = core.ErrKernelStrongOrdering
+
+// System call numbers implemented by the simulated kernel (Linux x86-64).
+const (
+	SYS_read            = syscalls.SYS_read
+	SYS_write           = syscalls.SYS_write
+	SYS_open            = syscalls.SYS_open
+	SYS_close           = syscalls.SYS_close
+	SYS_lseek           = syscalls.SYS_lseek
+	SYS_mmap            = syscalls.SYS_mmap
+	SYS_munmap          = syscalls.SYS_munmap
+	SYS_ioctl           = syscalls.SYS_ioctl
+	SYS_pread64         = syscalls.SYS_pread64
+	SYS_pwrite64        = syscalls.SYS_pwrite64
+	SYS_madvise         = syscalls.SYS_madvise
+	SYS_socket          = syscalls.SYS_socket
+	SYS_sendto          = syscalls.SYS_sendto
+	SYS_recvfrom        = syscalls.SYS_recvfrom
+	SYS_bind            = syscalls.SYS_bind
+	SYS_getrusage       = syscalls.SYS_getrusage
+	SYS_rt_sigqueueinfo = syscalls.SYS_rt_sigqueueinfo
+)
+
+// Open flags and seek whence values.
+const (
+	O_RDONLY = fs.O_RDONLY
+	O_WRONLY = fs.O_WRONLY
+	O_RDWR   = fs.O_RDWR
+	O_CREAT  = fs.O_CREAT
+	O_TRUNC  = fs.O_TRUNC
+	O_APPEND = fs.O_APPEND
+
+	SeekSet = fs.SeekSet
+	SeekCur = fs.SeekCur
+	SeekEnd = fs.SeekEnd
+)
+
+// POSIX is the GPU-side wrapper library: typed Open/Pread/SendTo/…
+// functions over the raw slot interface (the role of the paper's
+// modified HCC device library). Obtain one with NewPOSIX.
+type POSIX = gclib.C
+
+// NewPOSIX binds the POSIX wrapper library to a machine. Inside a kernel:
+//
+//	c := genesys.NewPOSIX(m)
+//	fd, _ := c.Open(w, "/tmp/data", genesys.O_RDONLY)
+//	n, _ := c.Pread(w, fd, buf, 0)
+func NewPOSIX(m *Machine) POSIX { return gclib.C{G: m.Genesys} }
+
+// NewMachine assembles a simulated machine.
+func NewMachine(cfg Config) *Machine { return platform.New(cfg) }
+
+// DefaultConfig mirrors the paper's FX-9800P testbed (Table III).
+func DefaultConfig() Config { return platform.DefaultConfig() }
+
+// DiscreteGPUConfig models the machine with a discrete PCIe GPU instead
+// of the integrated one (§VI: GENESYS "generalizes to discrete GPUs").
+func DiscreteGPUConfig() Config { return platform.DiscreteGPUConfig() }

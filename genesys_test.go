@@ -1,0 +1,110 @@
+package genesys_test
+
+import (
+	"strings"
+	"testing"
+
+	"genesys"
+)
+
+// TestFacadeQuickstart runs the package-documentation example through the
+// public facade: a GPU kernel printing to the terminal via write(2).
+func TestFacadeQuickstart(t *testing.T) {
+	m := genesys.NewMachine(genesys.DefaultConfig())
+	defer m.Shutdown()
+	m.NewProcess("app")
+
+	m.E.Spawn("host", func(p *genesys.Proc) {
+		k := m.GPU.Launch(p, genesys.Kernel{
+			Name: "hello", WorkGroups: 4, WGSize: 256,
+			Fn: func(w *genesys.Wavefront) {
+				line := []byte("hello from the GPU\n")
+				m.Genesys.InvokeWG(w, genesys.Request{
+					NR:   genesys.SYS_write,
+					Args: [6]uint64{1, uint64(len(line))},
+					Buf:  line,
+				}, genesys.Options{Blocking: true, Ordering: genesys.Relaxed,
+					Kind: genesys.Consumer})
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := m.OS.Console.Contents()
+	if strings.Count(out, "hello from the GPU") != 4 {
+		t.Fatalf("console = %q", out)
+	}
+}
+
+// TestFacadePOSIX drives the exported wrapper library end to end.
+func TestFacadePOSIX(t *testing.T) {
+	m := genesys.NewMachine(genesys.DefaultConfig())
+	defer m.Shutdown()
+	m.NewProcess("app")
+	c := genesys.NewPOSIX(m)
+	var got string
+	m.E.Spawn("host", func(p *genesys.Proc) {
+		k := m.GPU.Launch(p, genesys.Kernel{
+			Name: "posix", WorkGroups: 1, WGSize: 64,
+			Fn: func(w *genesys.Wavefront) {
+				fd, err := c.Open(w, "/tmp/facade", genesys.O_CREAT|genesys.O_RDWR)
+				if err != 0 {
+					t.Errorf("open: %v", err)
+					return
+				}
+				c.Write(w, fd, []byte("via the facade"))
+				c.Lseek(w, fd, 0, genesys.SeekSet)
+				buf := make([]byte, 32)
+				n, _ := c.Read(w, fd, buf)
+				if w.IsLeader() {
+					got = string(buf[:n])
+				}
+				c.Close(w, fd)
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "via the facade" {
+		t.Fatalf("read back %q", got)
+	}
+	dcfg := genesys.DiscreteGPUConfig()
+	if dcfg.GPU.CUs <= genesys.DefaultConfig().GPU.CUs {
+		t.Fatal("discrete preset not bigger")
+	}
+}
+
+// TestFacadeCoversTheAPI exercises the re-exported constants and types so
+// the facade cannot drift from the internal packages.
+func TestFacadeCoversTheAPI(t *testing.T) {
+	cfg := genesys.DefaultConfig()
+	if cfg.GPU.CUs != 8 || cfg.CPU.Cores != 4 {
+		t.Fatalf("default config = %+v", cfg)
+	}
+	if genesys.SYS_write != 1 || genesys.SYS_pread64 != 17 || genesys.SYS_rt_sigqueueinfo != 129 {
+		t.Fatal("syscall numbers drifted")
+	}
+	if genesys.O_RDONLY != 0 || genesys.O_CREAT != 0x40 || genesys.SeekEnd != 2 {
+		t.Fatal("flag constants drifted")
+	}
+	if genesys.Second != 1e9*genesys.Nanosecond {
+		t.Fatal("time constants drifted")
+	}
+	if genesys.ErrKernelStrongOrdering == nil {
+		t.Fatal("sentinel error missing")
+	}
+	var o genesys.Options
+	o.Ordering = genesys.Strong
+	o.Kind = genesys.Producer
+	o.Wait = genesys.WaitHaltResume
+	var r genesys.Result
+	if r.Ok() != true {
+		t.Fatal("zero Result should be OK")
+	}
+}

@@ -1,0 +1,3 @@
+module genesys
+
+go 1.22

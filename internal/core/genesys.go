@@ -1,0 +1,638 @@
+// Package core implements GENESYS, the paper's contribution: a generic
+// POSIX system call interface for GPU programs.
+//
+// Mechanism (paper §III, §VI):
+//
+//  1. The GPU work-item claims its slot in a preallocated shared-memory
+//     syscall area (one 64-byte cache-line slot per active hardware
+//     work-item — 1.25 MiB on the default 20480-work-item GPU) using a
+//     compare-and-swap, populates it with the call number, arguments and
+//     a blocking bit, and flips it to ready with an atomic swap. Atomics
+//     force L2 lookups, sidestepping the GPU's non-coherent L1.
+//  2. The wavefront interrupts the CPU (scalar s_sendmsg), carrying its
+//     hardware wavefront ID.
+//  3. The CPU interrupt handler — optionally after coalescing multiple
+//     interrupts within a configurable window — enqueues a kernel task.
+//  4. An OS worker thread scans the 64 slots of each wavefront in the
+//     batch, switches ready→processing, borrows the context of the CPU
+//     process that launched the kernel, and executes the call.
+//  5. Results are written back to the slot; blocking slots become
+//     finished (the waiting work-item polls or is resumed from halt),
+//     non-blocking slots go straight back to free.
+//
+// The package exposes the paper's full invocation design space:
+// work-item / work-group / kernel granularity, strong / relaxed ordering
+// with producer / consumer barrier elision, blocking / non-blocking
+// completion, and polling / halt-resume wait modes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"genesys/internal/cpu"
+	"genesys/internal/errno"
+	"genesys/internal/fs"
+	"genesys/internal/gpu"
+	"genesys/internal/mem"
+	"genesys/internal/oskern"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+)
+
+// SlotState is the lifecycle of one syscall-area slot (paper Figure 6).
+type SlotState uint32
+
+const (
+	SlotFree SlotState = iota
+	SlotPopulating
+	SlotReady
+	SlotProcessing
+	SlotFinished
+)
+
+func (s SlotState) String() string {
+	switch s {
+	case SlotFree:
+		return "free"
+	case SlotPopulating:
+		return "populating"
+	case SlotReady:
+		return "ready"
+	case SlotProcessing:
+		return "processing"
+	case SlotFinished:
+		return "finished"
+	}
+	return "invalid"
+}
+
+// Slot is one 64-byte syscall-area entry: call number, request state, up
+// to six arguments (re-purposed for the return value), a blocking bit,
+// and padding to a full cache line to avoid false sharing (Figure 5).
+type Slot struct {
+	// ID is the slot's hardware work-item index in the syscall area.
+	ID       int
+	State    SlotState
+	Blocking bool
+	Req      syscalls.Request
+
+	owner *oskern.Process
+	trace callTrace
+}
+
+// WaitMode selects how a blocking work-item awaits completion (§V-C).
+type WaitMode int
+
+const (
+	// WaitPoll spins on the slot state with atomic loads; cheap while the
+	// polled working set fits the GPU L2, ruinous beyond it (Figure 9).
+	WaitPoll WaitMode = iota
+	// WaitHaltResume halts the wavefront, relinquishing SIMD resources
+	// until the CPU's doorbell; pays the resume latency.
+	WaitHaltResume
+)
+
+func (m WaitMode) String() string {
+	if m == WaitHaltResume {
+		return "halt-resume"
+	}
+	return "polling"
+}
+
+// Ordering is the system call ordering semantics (§V-A).
+type Ordering int
+
+const (
+	// Strong: all work-items in the invocation scope complete prior
+	// instructions before the call, and none proceed past it until the
+	// call returns (barriers on both sides).
+	Strong Ordering = iota
+	// Relaxed: one of the two barriers is elided according to Kind.
+	Relaxed
+)
+
+func (o Ordering) String() string {
+	if o == Relaxed {
+		return "relaxed"
+	}
+	return "strong"
+}
+
+// Kind classifies the data-flow role of a call for relaxed ordering:
+// consumers of GPU-produced data (write, pwrite, sendto) keep only the
+// pre-call barrier; producers of data the GPU will consume (read, pread,
+// recvfrom) keep only the post-call barrier.
+type Kind int
+
+const (
+	Consumer Kind = iota
+	Producer
+)
+
+// Options selects the invocation strategy for one call.
+type Options struct {
+	Blocking bool
+	Wait     WaitMode
+	Ordering Ordering
+	Kind     Kind
+}
+
+// Result is the outcome of a completed (blocking) system call.
+type Result struct {
+	Ret     int64
+	Err     errno.Errno
+	OutArgs [2]uint64
+}
+
+// Ok reports whether the call succeeded.
+func (r Result) Ok() bool { return r.Err == errno.OK }
+
+// ErrKernelStrongOrdering is returned when strong ordering is requested
+// at kernel invocation granularity: with non-preemptible work-groups the
+// required kernel-wide barrier deadlocks whenever the grid exceeds
+// residency, so GENESYS rejects the combination outright (§V-A).
+var ErrKernelStrongOrdering = errors.New(
+	"genesys: strong ordering at kernel granularity would deadlock the GPU")
+
+// Config holds GENESYS tunables. CoalesceWindow and CoalesceMax are also
+// exposed at /sys/genesys/{coalesce_window_us,coalesce_max} (§VI).
+type Config struct {
+	// CoalesceWindow is how long the interrupt handler waits to batch
+	// further system call interrupts; 0 disables coalescing.
+	CoalesceWindow sim.Time
+	// CoalesceMax is the maximum number of wavefront interrupts handled
+	// as a single kernel task.
+	CoalesceMax int
+	// PollInterval is the delay between polling loads of a slot.
+	PollInterval sim.Time
+
+	// PackedSlots is an ablation switch: instead of the paper's design
+	// of one 64-byte slot per cache line (Figure 5's padding), pack four
+	// 16-byte slots per line. Atomics then false-share: every operation
+	// on a slot whose line holds other in-flight slots pays extra
+	// coherence round trips. Used to quantify why the paper pads.
+	PackedSlots bool
+}
+
+// DefaultConfig returns coalescing off and a 2 us poll interval.
+func DefaultConfig() Config {
+	return Config{CoalesceWindow: 0, CoalesceMax: 1, PollInterval: 2 * sim.Microsecond}
+}
+
+// Genesys is the installed GPU system call layer of one machine.
+type Genesys struct {
+	E   *sim.Engine
+	GPU *gpu.Device
+	OS  *oskern.OS
+	Mem *mem.System
+	CPU *cpu.CPU
+
+	cfg   Config
+	slots []Slot
+	proc  *oskern.Process // default context GPU syscalls borrow
+
+	// kernelProcs maps kernels to the processes that launched them, for
+	// machines running several GPU applications at once.
+	kernelProcs map[*gpu.KernelRun]*oskern.Process
+
+	outstanding int
+	drainCond   *sim.Cond
+
+	// interrupt coalescing state
+	pendingWaves []int
+	pendingSet   map[int]bool
+	coalesceTmr  *sim.Timer
+
+	Invocations   sim.Counter
+	Batches       sim.Counter
+	BatchedWaves  sim.Counter
+	SlotConflicts sim.Counter
+
+	tracer *Tracer
+}
+
+// New installs GENESYS on a machine: it sizes the syscall area to the
+// GPU's active hardware work-items, hooks the GPU→CPU interrupt line and
+// registers the sysfs tunables.
+func New(e *sim.Engine, dev *gpu.Device, os *oskern.OS, m *mem.System,
+	c *cpu.CPU, cfg Config) *Genesys {
+	if cfg.CoalesceMax < 1 {
+		cfg.CoalesceMax = 1
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 2 * sim.Microsecond
+	}
+	g := &Genesys{
+		E:           e,
+		GPU:         dev,
+		OS:          os,
+		Mem:         m,
+		CPU:         c,
+		cfg:         cfg,
+		slots:       make([]Slot, dev.HWWorkItems()),
+		drainCond:   sim.NewCond(e),
+		pendingSet:  make(map[int]bool),
+		kernelProcs: make(map[*gpu.KernelRun]*oskern.Process),
+	}
+	for i := range g.slots {
+		g.slots[i].ID = i
+	}
+	dev.SetIRQHandler(g.handleIRQ)
+	g.registerSysfs()
+	return g
+}
+
+// AreaBytes returns the syscall area size (64 bytes per slot).
+func (g *Genesys) AreaBytes() int { return len(g.slots) * 64 }
+
+// Config returns the current tunables.
+func (g *Genesys) Config() Config { return g.cfg }
+
+// SetCoalescing adjusts the coalescing knobs (also reachable via sysfs).
+func (g *Genesys) SetCoalescing(window sim.Time, max int) {
+	if max < 1 {
+		max = 1
+	}
+	g.cfg.CoalesceWindow = window
+	g.cfg.CoalesceMax = max
+}
+
+// BindProcess sets the default CPU process whose context GPU system
+// calls borrow — the process that launches the GPU kernels. GPU threads
+// themselves have no kernel representation (§IV).
+func (g *Genesys) BindProcess(pr *oskern.Process) { g.proc = pr }
+
+// Process returns the default bound process.
+func (g *Genesys) Process() *oskern.Process { return g.proc }
+
+// BindKernel associates one launched kernel with the process that owns
+// it, so machines running several GPU applications dispatch each
+// program's system calls in its own context (fd table, address space,
+// signal state). Kernels without a binding fall back to the default
+// process.
+func (g *Genesys) BindKernel(kr *gpu.KernelRun, pr *oskern.Process) {
+	g.kernelProcs[kr] = pr
+}
+
+// procFor resolves the owning process of a wavefront's kernel.
+func (g *Genesys) procFor(w *gpu.Wavefront) *oskern.Process {
+	if pr, ok := g.kernelProcs[w.WG.Run]; ok {
+		return pr
+	}
+	return g.proc
+}
+
+// Slot returns a copy of slot i (for tests and debugging).
+func (g *Genesys) Slot(i int) Slot { return g.slots[i] }
+
+// Outstanding returns the number of system calls in flight.
+func (g *Genesys) Outstanding() int { return g.outstanding }
+
+func (g *Genesys) registerSysfs() {
+	if g.OS.SysfsRoot == nil {
+		return
+	}
+	g.OS.SysfsRoot.Add("coalesce_window_us", &fs.CtlFile{
+		Get: func() []byte {
+			return []byte(strconv.FormatInt(int64(g.cfg.CoalesceWindow/sim.Microsecond), 10) + "\n")
+		},
+		Set: func(b []byte) error {
+			v, err := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
+			if err != nil || v < 0 {
+				return errno.EINVAL
+			}
+			g.cfg.CoalesceWindow = sim.Time(v) * sim.Microsecond
+			return nil
+		},
+	})
+	g.OS.SysfsRoot.Add("coalesce_max", &fs.CtlFile{
+		Get: func() []byte {
+			return []byte(strconv.Itoa(g.cfg.CoalesceMax) + "\n")
+		},
+		Set: func(b []byte) error {
+			v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+			if err != nil || v < 1 {
+				return errno.EINVAL
+			}
+			g.cfg.CoalesceMax = v
+			return nil
+		},
+	})
+	g.OS.SysfsRoot.Add("stats", &fs.GenFile{Gen: func() []byte {
+		return []byte(fmt.Sprintf(
+			"invocations %d\nbatches %d\nbatched_waves %d\noutstanding %d\n",
+			g.Invocations.Value(), g.Batches.Value(), g.BatchedWaves.Value(), g.outstanding))
+	}})
+}
+
+// --- GPU side -------------------------------------------------------------
+
+// falseSharingPenalty returns the extra coherence cost of touching slot
+// idx when slots are packed four to a cache line: each other in-flight
+// slot on the line forces a line ping-pong (ablation; zero in the
+// paper's padded layout).
+func (g *Genesys) falseSharingPenalty(idx int) sim.Time {
+	if !g.cfg.PackedSlots {
+		return 0
+	}
+	base := idx &^ 3
+	var n sim.Time
+	for i := base; i < base+4 && i < len(g.slots); i++ {
+		if i != idx && g.slots[i].State != SlotFree {
+			n++
+		}
+	}
+	return n * 4 * g.Mem.Config().L2HitTime
+}
+
+// populateSlot claims and fills the slot of (wavefront, lane); it charges
+// the cmp-swap claim, the line store, and the swap to ready.
+func (g *Genesys) populateSlot(w *gpu.Wavefront, lane int, req syscalls.Request, blocking bool) *Slot {
+	id := w.HWWorkItemID(lane)
+	s := &g.slots[id]
+	s.trace = callTrace{claim: g.E.Now()}
+	s.owner = g.procFor(w)
+	for {
+		g.Mem.GPUAtomic(w.P, mem.OpCmpSwap, 0)
+		if pen := g.falseSharingPenalty(id); pen > 0 {
+			w.P.Sleep(pen)
+		}
+		if s.State == SlotFree {
+			s.State = SlotPopulating
+			break
+		}
+		// A previous (non-blocking) call on this work-item is still being
+		// processed: invocation is delayed until the slot frees (§VI).
+		g.SlotConflicts.Inc()
+		w.P.Sleep(g.cfg.PollInterval)
+	}
+	req.Ret, req.Err = 0, errno.OK
+	s.Req = req
+	s.Blocking = blocking
+	g.Mem.GPUWriteLine(w.P)
+	g.Mem.GPUAtomic(w.P, mem.OpSwap, 0)
+	s.State = SlotReady
+	s.trace.ready = g.E.Now()
+	g.Invocations.Inc()
+	g.outstanding++
+	return s
+}
+
+// awaitSlots waits (per mode) until every given blocking slot reaches
+// finished, then harvests results and frees the slots.
+func (g *Genesys) awaitSlots(w *gpu.Wavefront, slots []*Slot, mode WaitMode) []Result {
+	switch mode {
+	case WaitHaltResume:
+		for !allFinished(slots) {
+			w.Halt()
+		}
+	default: // WaitPoll
+		g.Mem.AddPolledLines(len(slots))
+		w.BeginPoll()
+		defer w.EndPoll()
+		for {
+			done := true
+			for _, s := range slots {
+				if s.State != SlotFinished {
+					g.Mem.PollLoad(w.P)
+					if pen := g.falseSharingPenalty(s.ID); pen > 0 {
+						w.P.Sleep(pen)
+					}
+					if s.State != SlotFinished {
+						done = false
+					}
+				}
+			}
+			if done {
+				break
+			}
+			w.P.Sleep(g.cfg.PollInterval)
+		}
+		g.Mem.AddPolledLines(-len(slots))
+	}
+	results := make([]Result, len(slots))
+	for i, s := range slots {
+		results[i] = Result{Ret: s.Req.Ret, Err: s.Req.Err, OutArgs: s.Req.OutArgs}
+		g.Mem.GPUAtomic(w.P, mem.OpSwap, 0)
+		s.State = SlotFree
+		if g.tracer != nil {
+			s.trace.harvest = g.E.Now()
+			g.tracer.record(s.trace)
+		}
+		g.noteCompleted()
+	}
+	return results
+}
+
+func allFinished(slots []*Slot) bool {
+	for _, s := range slots {
+		if s.State != SlotFinished {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Genesys) noteCompleted() {
+	g.outstanding--
+	if g.outstanding == 0 {
+		g.drainCond.Broadcast()
+	}
+}
+
+// Invoke issues one system call from lane 0 of the calling wavefront —
+// the primitive underlying work-group and kernel granularity invocation.
+// Blocking calls return the Result; non-blocking calls return immediately
+// with a zero Result.
+func (g *Genesys) Invoke(w *gpu.Wavefront, req syscalls.Request, o Options) Result {
+	s := g.populateSlot(w, 0, req, o.Blocking)
+	w.Interrupt()
+	if !o.Blocking {
+		return Result{}
+	}
+	return g.awaitSlots(w, []*Slot{s}, o.Wait)[0]
+}
+
+// InvokeEach issues one system call per active lane of the wavefront —
+// work-item invocation granularity. The mk callback builds each lane's
+// request (return nil to skip a lane). Per the hardware, the lanes'
+// slots are populated serially but a single wavefront interrupt covers
+// all of them, and the CPU scans all 64 slots (§VI). Work-item
+// granularity implies strong ordering within the wavefront (§V-A).
+func (g *Genesys) InvokeEach(w *gpu.Wavefront, mk func(lane int) *syscalls.Request, o Options) []Result {
+	var slots []*Slot
+	var lanes []int
+	for lane := 0; lane < w.Lanes; lane++ {
+		req := mk(lane)
+		if req == nil {
+			continue
+		}
+		slots = append(slots, g.populateSlot(w, lane, *req, o.Blocking))
+		lanes = append(lanes, lane)
+	}
+	if len(slots) == 0 {
+		return nil
+	}
+	w.Interrupt()
+	if !o.Blocking {
+		return make([]Result, len(slots))
+	}
+	return g.awaitSlots(w, slots, o.Wait)
+}
+
+// InvokeWG issues one system call at work-group granularity: wavefront 0
+// invokes on behalf of the group, with barriers placed according to the
+// ordering semantics (paper Figures 3 and 4):
+//
+//	strong:            Bar1 — syscall — Bar2
+//	relaxed consumer:  Bar1 — syscall            (write-like)
+//	relaxed producer:         syscall — Bar2     (read-like)
+//
+// Every wavefront of the work-group must call InvokeWG. The leader's
+// result is returned with invoker=true; other wavefronts get a zero
+// Result and invoker=false.
+func (g *Genesys) InvokeWG(w *gpu.Wavefront, req syscalls.Request, o Options) (res Result, invoker bool) {
+	if o.Ordering == Strong || o.Kind == Consumer {
+		w.Barrier() // Bar1
+	}
+	if w.IsLeader() {
+		res = g.Invoke(w, req, o)
+		invoker = true
+	}
+	if o.Ordering == Strong || o.Kind == Producer {
+		w.Barrier() // Bar2
+	}
+	return res, invoker
+}
+
+// InvokeKernel issues one system call at kernel granularity: wavefront 0
+// of work-group 0 invokes on behalf of the entire grid. Relaxed ordering
+// is mandatory — strong ordering would require a kernel-wide barrier that
+// deadlocks non-preemptible work-groups (§V-A) — so Strong is rejected
+// with ErrKernelStrongOrdering.
+func (g *Genesys) InvokeKernel(w *gpu.Wavefront, req syscalls.Request, o Options) (Result, bool, error) {
+	if o.Ordering == Strong {
+		return Result{}, false, ErrKernelStrongOrdering
+	}
+	if !w.IsKernelLeader() {
+		return Result{}, false, nil
+	}
+	return g.Invoke(w, req, o), true, nil
+}
+
+// Drain blocks the calling CPU process until every outstanding GPU system
+// call has completed — the new host-side call the paper adds so that
+// non-blocking GPU system calls cannot outlive their process (§IX).
+func (g *Genesys) Drain(p *sim.Proc) {
+	for g.outstanding > 0 {
+		g.drainCond.Wait(p, "genesys drain")
+	}
+}
+
+// --- CPU side -------------------------------------------------------------
+
+// handleIRQ receives wavefront interrupts (engine-callback context) and
+// applies interrupt coalescing (§V-B): interrupts arriving within
+// CoalesceWindow are batched, up to CoalesceMax, into one kernel task.
+func (g *Genesys) handleIRQ(hwWave int) {
+	if g.cfg.CoalesceWindow <= 0 || g.cfg.CoalesceMax <= 1 {
+		g.enqueueBatch([]int{hwWave})
+		return
+	}
+	if !g.pendingSet[hwWave] {
+		g.pendingSet[hwWave] = true
+		g.pendingWaves = append(g.pendingWaves, hwWave)
+	}
+	if len(g.pendingWaves) >= g.cfg.CoalesceMax {
+		g.flushPending()
+		return
+	}
+	if g.coalesceTmr == nil {
+		g.coalesceTmr = g.E.After(g.cfg.CoalesceWindow, g.flushPending)
+	}
+}
+
+func (g *Genesys) flushPending() {
+	if g.coalesceTmr != nil {
+		g.coalesceTmr.Cancel()
+		g.coalesceTmr = nil
+	}
+	if len(g.pendingWaves) == 0 {
+		return
+	}
+	batch := g.pendingWaves
+	g.pendingWaves = nil
+	g.pendingSet = make(map[int]bool)
+	g.enqueueBatch(batch)
+}
+
+func (g *Genesys) enqueueBatch(waves []int) {
+	g.Batches.Inc()
+	g.BatchedWaves.Add(int64(len(waves)))
+	if g.tracer != nil {
+		simd := g.GPU.Config().SIMDWidth
+		for _, hw := range waves {
+			for lane := 0; lane < simd; lane++ {
+				if s := &g.slots[hw*simd+lane]; s.State == SlotReady {
+					s.trace.enqueued = g.E.Now()
+				}
+			}
+		}
+	}
+	g.OS.Enqueue(oskern.Task{
+		Name: "genesys-batch",
+		Run:  func(p *sim.Proc) { g.processBatch(p, waves) },
+	})
+}
+
+// processBatch runs in an OS worker thread: it switches into the bound
+// process's context once, then scans the 64 slots of every wavefront in
+// the batch, executing each ready request. Coalescing trades latency for
+// this batching: one task, one context switch, serialized processing.
+func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
+	var current *oskern.Process
+	ctx := &syscalls.Ctx{P: p, OS: g.OS}
+	simd := g.GPU.Config().SIMDWidth
+	for _, hw := range waves {
+		base := hw * simd
+		for lane := 0; lane < simd; lane++ {
+			s := &g.slots[base+lane]
+			if s.State != SlotReady {
+				continue
+			}
+			owner := s.owner
+			if owner == nil {
+				owner = g.proc
+			}
+			if owner == nil {
+				panic("genesys: no process bound; call BindProcess or BindKernel before launching kernels")
+			}
+			// Context switches are charged only when the borrowed
+			// context actually changes within the batch.
+			if owner != current {
+				owner.SwitchTo(p)
+				current = owner
+				ctx.Proc = owner
+			}
+			s.State = SlotProcessing
+			s.trace.picked = g.E.Now()
+			g.CPU.Exec(p, g.OS.Config().SyscallSoftware, cpu.PrioKernel)
+			syscalls.Dispatch(ctx, &s.Req)
+			s.trace.done = g.E.Now()
+			if s.Blocking {
+				s.State = SlotFinished
+			} else {
+				s.State = SlotFree
+				if g.tracer != nil {
+					g.tracer.record(s.trace)
+				}
+				g.noteCompleted()
+			}
+		}
+		// Doorbell: wake the wavefront if it halted awaiting results.
+		g.GPU.Resume(hw)
+	}
+}

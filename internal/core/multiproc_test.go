@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"testing"
+
+	"genesys/internal/core"
+	"genesys/internal/fs"
+	"genesys/internal/gpu"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+)
+
+// TestTwoProcessesIsolatedContexts runs two GPU applications at once,
+// each bound to its own CPU process: identical fd numbers must resolve
+// through each process's own descriptor table, and signals must land in
+// the right process.
+func TestTwoProcessesIsolatedContexts(t *testing.T) {
+	m := newMachine(t, 21)
+	appA := m.NewProcess("appA") // also the default binding
+	appB := m.OS.NewProcess("appB")
+
+	fileA, _ := m.VFS.Open("/tmp/a", fs.O_CREAT|fs.O_RDWR)
+	fileB, _ := m.VFS.Open("/tmp/b", fs.O_CREAT|fs.O_RDWR)
+	fdA, _ := appA.FDs.Install(fileA)
+	fdB, _ := appB.FDs.Install(fileB)
+	if fdA != fdB {
+		t.Fatalf("test needs identical fd numbers, got %d and %d", fdA, fdB)
+	}
+
+	kernel := func(tag byte, fd int, peer int) gpu.Kernel {
+		return gpu.Kernel{
+			Name: "app" + string(tag), WorkGroups: 4, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				payload := []byte{tag}
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fd), 1, uint64(w.WG.ID)},
+					Buf:  payload,
+				}, core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Relaxed, Kind: core.Consumer})
+				// Signal the peer process.
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_rt_sigqueueinfo,
+					Args: [6]uint64{uint64(peer), 34, uint64(w.WG.ID)},
+				}, core.Options{Blocking: false, Ordering: core.Relaxed, Kind: core.Consumer})
+			},
+		}
+	}
+
+	m.E.Spawn("hostA", func(p *sim.Proc) {
+		kr := m.GPU.Launch(p, kernel('A', fdA, appB.PID))
+		kr.Wait(p)
+	})
+	m.E.Spawn("hostB", func(p *sim.Proc) {
+		kr := m.GPU.LaunchAsync(kernel('B', fdB, appA.PID))
+		m.Genesys.BindKernel(kr, appB)
+		kr.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := m.ReadFile("/tmp/a")
+	b, _ := m.ReadFile("/tmp/b")
+	if string(a) != "AAAA" {
+		t.Fatalf("/tmp/a = %q (appA's writes leaked or were misrouted)", a)
+	}
+	if string(b) != "BBBB" {
+		t.Fatalf("/tmp/b = %q (appB's writes misrouted through appA's fd table)", b)
+	}
+	// Signals: each app signalled the other 4 times, and the sender PID
+	// must be the *borrowed* process, not a global one.
+	if appA.Sig.Pending() != 4 || appB.Sig.Pending() != 4 {
+		t.Fatalf("pending signals: A=%d B=%d", appA.Sig.Pending(), appB.Sig.Pending())
+	}
+	si, _ := appA.Sig.TryWait()
+	if si.Pid != appB.PID {
+		t.Fatalf("signal to appA came from pid %d, want %d", si.Pid, appB.PID)
+	}
+	si, _ = appB.Sig.TryWait()
+	if si.Pid != appA.PID {
+		t.Fatalf("signal to appB came from pid %d, want %d", si.Pid, appA.PID)
+	}
+}
+
+// TestContextSwitchChargedPerOwnerChange verifies that a batch of slots
+// owned by one process pays a single context switch, while interleaved
+// owners pay more — the §VI cost the coalescing design amortizes.
+func TestContextSwitchChargedPerOwnerChange(t *testing.T) {
+	m := newMachine(t, 22)
+	appA := m.NewProcess("appA")
+	f, _ := m.VFS.Open("/tmp/one", fs.O_CREAT|fs.O_WRONLY)
+	fd, _ := appA.FDs.Install(f)
+
+	// Single-owner batch: 8 wavefront calls coalesced into one task.
+	m.Genesys.SetCoalescing(200*sim.Microsecond, 8)
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name: "single", WorkGroups: 8, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fd), 1, uint64(w.WG.ID)},
+					Buf:  []byte{'x'},
+				}, core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Relaxed, Kind: core.Consumer})
+			},
+		})
+		k.Wait(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Genesys.Batches.Value(); got >= 8 {
+		t.Fatalf("coalescing produced %d batches for 8 calls", got)
+	}
+	data, _ := m.ReadFile("/tmp/one")
+	if len(data) != 8 {
+		t.Fatalf("writes = %d", len(data))
+	}
+}

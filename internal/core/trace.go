@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"genesys/internal/sim"
+)
+
+// Phase labels of one GPU system call's life cycle (paper Figure 2's
+// five steps, plus the final result harvest).
+const (
+	PhaseGPUSetup   = "gpu-setup"  // claim + populate + ready (step 1)
+	PhaseDelivery   = "delivery"   // interrupt → batch enqueued (step 2)
+	PhaseQueueing   = "queueing"   // workqueue wait + dispatch (step 3)
+	PhaseProcessing = "processing" // syscall execution on the CPU (step 4)
+	PhaseCompletion = "completion" // finished → result harvested (step 5)
+)
+
+// Phases lists the life-cycle phases in order.
+func Phases() []string {
+	return []string{PhaseGPUSetup, PhaseDelivery, PhaseQueueing,
+		PhaseProcessing, PhaseCompletion}
+}
+
+// callTrace records the per-call timestamps the tracer aggregates.
+type callTrace struct {
+	claim    sim.Time // claim attempt started (GPU)
+	ready    sim.Time // slot flipped to ready (GPU)
+	enqueued sim.Time // batch entered the workqueue (CPU irq path)
+	picked   sim.Time // worker began processing the slot
+	done     sim.Time // syscall finished, result written
+	harvest  sim.Time // invoking work-item consumed the result
+}
+
+// Tracer aggregates per-phase latencies across traced system calls.
+// Attach with Genesys.SetTracer; it costs nothing in virtual time.
+type Tracer struct {
+	mean map[string]*sim.Summary
+	n    int
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	m := make(map[string]*sim.Summary, 5)
+	for _, ph := range Phases() {
+		m[ph] = &sim.Summary{}
+	}
+	return &Tracer{mean: m}
+}
+
+func (t *Tracer) record(c callTrace) {
+	if c.harvest == 0 {
+		c.harvest = c.done // non-blocking: no harvest step
+	}
+	t.n++
+	t.mean[PhaseGPUSetup].Add((c.ready - c.claim).Micro())
+	t.mean[PhaseDelivery].Add((c.enqueued - c.ready).Micro())
+	t.mean[PhaseQueueing].Add((c.picked - c.enqueued).Micro())
+	t.mean[PhaseProcessing].Add((c.done - c.picked).Micro())
+	t.mean[PhaseCompletion].Add((c.harvest - c.done).Micro())
+}
+
+// Calls returns how many system calls were traced.
+func (t *Tracer) Calls() int { return t.n }
+
+// Phase returns the latency summary (µs) of one phase.
+func (t *Tracer) Phase(name string) *sim.Summary { return t.mean[name] }
+
+// TotalMean returns the mean end-to-end latency in µs.
+func (t *Tracer) TotalMean() float64 {
+	var sum float64
+	for _, ph := range Phases() {
+		sum += t.mean[ph].Mean()
+	}
+	return sum
+}
+
+// String renders the breakdown table.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "syscall latency breakdown over %d calls (mean us):\n", t.n)
+	total := t.TotalMean()
+	for _, ph := range Phases() {
+		m := t.mean[ph].Mean()
+		share := 0.0
+		if total > 0 {
+			share = 100 * m / total
+		}
+		fmt.Fprintf(&b, "  %-11s %8.2f  (%4.1f%%)\n", ph, m, share)
+	}
+	fmt.Fprintf(&b, "  %-11s %8.2f\n", "total", total)
+	return b.String()
+}
+
+// SetTracer attaches (or with nil, detaches) a latency tracer.
+func (g *Genesys) SetTracer(t *Tracer) { g.tracer = t }
+
+// Tracer returns the attached tracer, if any.
+func (g *Genesys) Tracer() *Tracer { return g.tracer }

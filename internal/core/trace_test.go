@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"genesys/internal/core"
+	"genesys/internal/fs"
+	"genesys/internal/gpu"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+)
+
+func TestTracerBreakdown(t *testing.T) {
+	m := newMachine(t, 31)
+	pr := m.NewProcess("traced")
+	tr := core.NewTracer()
+	m.Genesys.SetTracer(tr)
+	if m.Genesys.Tracer() != tr {
+		t.Fatal("tracer not attached")
+	}
+	f, _ := m.VFS.Open("/tmp/t", fs.O_CREAT|fs.O_WRONLY)
+	fd, _ := pr.FDs.Install(f)
+
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name: "traced", WorkGroups: 4, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				// One blocking + one non-blocking per work-group.
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fd), 8, uint64(16 * w.WG.ID)},
+					Buf:  make([]byte, 8),
+				}, core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Relaxed, Kind: core.Consumer})
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fd), 8, uint64(16*w.WG.ID + 8)},
+					Buf:  make([]byte, 8),
+				}, core.Options{Blocking: false, Ordering: core.Relaxed, Kind: core.Consumer})
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Calls() != 8 {
+		t.Fatalf("traced calls = %d, want 8", tr.Calls())
+	}
+	// Every phase has samples and a sensible magnitude.
+	var total float64
+	for _, ph := range core.Phases() {
+		s := tr.Phase(ph)
+		if s.N() != 8 {
+			t.Fatalf("phase %s has %d samples", ph, s.N())
+		}
+		if s.Mean() < 0 {
+			t.Fatalf("phase %s negative", ph)
+		}
+		total += s.Mean()
+	}
+	if diff := total - tr.TotalMean(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("phase sum %f != total %f", total, tr.TotalMean())
+	}
+	// GPU setup ≈ cmp-swap + store + swap ≈ 4.25us; delivery = 5us irq.
+	if m := tr.Phase(core.PhaseGPUSetup).Mean(); m < 4 || m > 5 {
+		t.Fatalf("gpu-setup = %.2f us", m)
+	}
+	if m := tr.Phase(core.PhaseDelivery).Mean(); m < 4.9 || m > 5.1 {
+		t.Fatalf("delivery = %.2f us", m)
+	}
+	// Non-blocking calls report zero completion time; blocking ones pay
+	// at least a poll interval, so the mean sits between.
+	if m := tr.Phase(core.PhaseCompletion).Mean(); m <= 0 {
+		t.Fatalf("completion = %.2f us", m)
+	}
+	out := tr.String()
+	if !strings.Contains(out, "syscall latency breakdown over 8 calls") ||
+		!strings.Contains(out, "processing") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestOptionEnumStrings(t *testing.T) {
+	if core.Strong.String() != "strong" || core.Relaxed.String() != "relaxed" {
+		t.Fatal("ordering strings")
+	}
+	if core.WaitPoll.String() != "polling" || core.WaitHaltResume.String() != "halt-resume" {
+		t.Fatal("wait mode strings")
+	}
+}

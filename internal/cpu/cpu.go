@@ -1,0 +1,128 @@
+// Package cpu models the host CPU: a fixed number of cores that simulated
+// threads compete for, with run-to-block scheduling, priority classes and
+// a per-bin utilization ledger used to regenerate the paper's CPU
+// utilization traces (Figure 14).
+package cpu
+
+import "genesys/internal/sim"
+
+// Scheduling priorities. Higher values are granted cores first.
+const (
+	PrioNormal = 0  // application threads
+	PrioKernel = 5  // OS worker threads processing GPU system calls
+	PrioIRQ    = 10 // interrupt handling
+)
+
+// Config describes the CPU complex.
+type Config struct {
+	Cores    int
+	ClockMHz int
+	// UtilBin is the bin width of the utilization trace.
+	UtilBin sim.Time
+}
+
+// DefaultConfig matches Table III: 4 cores at 2.7 GHz.
+func DefaultConfig() Config {
+	return Config{Cores: 4, ClockMHz: 2700, UtilBin: 10 * sim.Millisecond}
+}
+
+// CPU is the simulated processor complex.
+type CPU struct {
+	e     *sim.Engine
+	cfg   Config
+	cores *sim.Resource
+
+	util      *sim.Series // busy nanoseconds per bin, summed over cores
+	busyTotal sim.Time
+}
+
+// New returns a CPU bound to e.
+func New(e *sim.Engine, cfg Config) *CPU {
+	if cfg.Cores <= 0 {
+		panic("cpu: need at least one core")
+	}
+	if cfg.UtilBin <= 0 {
+		cfg.UtilBin = 10 * sim.Millisecond
+	}
+	return &CPU{
+		e:     e,
+		cfg:   cfg,
+		cores: sim.NewResource(e, "cpu-cores", cfg.Cores),
+		util:  sim.NewSeries(cfg.UtilBin),
+	}
+}
+
+// Config returns the CPU configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Cores exposes the underlying core resource (for tests and schedulers).
+func (c *CPU) Cores() *sim.Resource { return c.cores }
+
+// CyclesTime converts a cycle count at the configured clock to time.
+func (c *CPU) CyclesTime(cycles int64) sim.Time {
+	return sim.Time(cycles * 1000 / int64(c.cfg.ClockMHz))
+}
+
+// Exec runs d of computation on one core at the given priority, blocking
+// until a core is available and the work completes. Scheduling is
+// run-to-block: callers doing long computations should use ExecChunked so
+// other threads can interleave.
+func (c *CPU) Exec(p *sim.Proc, d sim.Time, prio int) {
+	if d <= 0 {
+		return
+	}
+	c.cores.Acquire(p, prio)
+	start := c.e.Now()
+	p.Sleep(d)
+	c.noteBusy(start, c.e.Now())
+	c.cores.Release()
+}
+
+// ExecChunked runs total of computation in chunk-sized timeslices,
+// releasing the core between slices so equal-priority threads share cores
+// fairly.
+func (c *CPU) ExecChunked(p *sim.Proc, total, chunk sim.Time, prio int) {
+	if chunk <= 0 {
+		chunk = sim.Millisecond
+	}
+	for total > 0 {
+		d := chunk
+		if d > total {
+			d = total
+		}
+		c.Exec(p, d, prio)
+		total -= d
+	}
+}
+
+func (c *CPU) noteBusy(t0, t1 sim.Time) {
+	c.busyTotal += t1 - t0
+	c.util.AddInterval(t0, t1, float64(t1-t0))
+}
+
+// BusyTotal returns total core-busy time accumulated so far.
+func (c *CPU) BusyTotal() sim.Time { return c.busyTotal }
+
+// UtilizationTrace returns per-bin utilization as a percentage of all
+// cores (0–100).
+func (c *CPU) UtilizationTrace() []float64 {
+	bins := c.util.Bins()
+	denom := float64(c.cfg.UtilBin) * float64(c.cfg.Cores)
+	out := make([]float64, len(bins))
+	for i, b := range bins {
+		out[i] = 100 * b / denom
+	}
+	return out
+}
+
+// UtilBin returns the width of one utilization bin.
+func (c *CPU) UtilBin() sim.Time { return c.cfg.UtilBin }
+
+// MeanUtilization returns average utilization (percent of all cores)
+// over [0, until].
+func (c *CPU) MeanUtilization(until sim.Time) float64 {
+	if until <= 0 {
+		return 0
+	}
+	return 100 * float64(c.busyTotal) / (float64(until) * float64(c.cfg.Cores))
+}

@@ -1,0 +1,98 @@
+// Package errno defines the Linux error numbers used across the simulated
+// kernel, filesystem, network stack and GENESYS syscall layer.
+package errno
+
+import "fmt"
+
+// Errno is a Linux-style error number. The zero value means "no error".
+type Errno int
+
+// Error numbers (Linux x86-64 values).
+const (
+	OK           Errno = 0
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	EINTR        Errno = 4
+	EIO          Errno = 5
+	EBADF        Errno = 9
+	EAGAIN       Errno = 11
+	ENOMEM       Errno = 12
+	EACCES       Errno = 13
+	EFAULT       Errno = 14
+	EBUSY        Errno = 16
+	EEXIST       Errno = 17
+	ENODEV       Errno = 19
+	ENOTDIR      Errno = 20
+	EISDIR       Errno = 21
+	EINVAL       Errno = 22
+	EMFILE       Errno = 24
+	ENOTTY       Errno = 25
+	EFBIG        Errno = 27
+	ENOSPC       Errno = 28
+	ESPIPE       Errno = 29
+	EPIPE        Errno = 32
+	ERANGE       Errno = 34
+	ENOSYS       Errno = 38
+	ENOTEMPTY    Errno = 39
+	ENOTSOCK     Errno = 88
+	EMSGSIZE     Errno = 90
+	EADDRINUSE   Errno = 98
+	ETIMEDOUT    Errno = 110
+	ECONNREFUSED Errno = 111
+)
+
+var names = map[Errno]string{
+	OK:           "OK",
+	EPERM:        "EPERM",
+	ENOENT:       "ENOENT",
+	EINTR:        "EINTR",
+	EIO:          "EIO",
+	EBADF:        "EBADF",
+	EAGAIN:       "EAGAIN",
+	ENOMEM:       "ENOMEM",
+	EACCES:       "EACCES",
+	EFAULT:       "EFAULT",
+	EBUSY:        "EBUSY",
+	EEXIST:       "EEXIST",
+	ENODEV:       "ENODEV",
+	ENOTDIR:      "ENOTDIR",
+	EISDIR:       "EISDIR",
+	EINVAL:       "EINVAL",
+	EMFILE:       "EMFILE",
+	ENOTTY:       "ENOTTY",
+	EFBIG:        "EFBIG",
+	ENOSPC:       "ENOSPC",
+	ESPIPE:       "ESPIPE",
+	EPIPE:        "EPIPE",
+	ERANGE:       "ERANGE",
+	ENOSYS:       "ENOSYS",
+	ENOTEMPTY:    "ENOTEMPTY",
+	ENOTSOCK:     "ENOTSOCK",
+	EMSGSIZE:     "EMSGSIZE",
+	EADDRINUSE:   "EADDRINUSE",
+	ETIMEDOUT:    "ETIMEDOUT",
+	ECONNREFUSED: "ECONNREFUSED",
+}
+
+// Error implements the error interface; OK must not be used as an error.
+func (e Errno) Error() string { return e.String() }
+
+// String returns the conventional constant name.
+func (e Errno) String() string {
+	if s, ok := names[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// Of extracts the Errno from err: a nil err maps to OK, an Errno is
+// returned as-is, and any other error maps to EIO.
+func Of(err error) Errno {
+	if err == nil {
+		return OK
+	}
+	if e, ok := err.(Errno); ok {
+		return e
+	}
+	return EIO
+}

@@ -1,0 +1,41 @@
+package errno
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStringAndError(t *testing.T) {
+	if ENOENT.String() != "ENOENT" || ENOENT.Error() != "ENOENT" {
+		t.Fatalf("ENOENT renders as %q", ENOENT.String())
+	}
+	if got := Errno(9999).String(); got != "errno(9999)" {
+		t.Fatalf("unknown errno renders as %q", got)
+	}
+	if OK.String() != "OK" {
+		t.Fatal("OK string")
+	}
+}
+
+func TestOf(t *testing.T) {
+	if Of(nil) != OK {
+		t.Fatal("nil should map to OK")
+	}
+	if Of(EBADF) != EBADF {
+		t.Fatal("Errno should pass through")
+	}
+	if Of(errors.New("anything else")) != EIO {
+		t.Fatal("foreign errors should map to EIO")
+	}
+}
+
+func TestValuesMatchLinux(t *testing.T) {
+	// Spot-check against the Linux ABI values.
+	cases := map[Errno]int{EPERM: 1, ENOENT: 2, EBADF: 9, ENOMEM: 12,
+		EINVAL: 22, ENOSYS: 38, EADDRINUSE: 98, ECONNREFUSED: 111}
+	for e, v := range cases {
+		if int(e) != v {
+			t.Fatalf("%v = %d, want %d", e, int(e), v)
+		}
+	}
+}

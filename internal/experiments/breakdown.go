@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"genesys/internal/core"
+	"genesys/internal/gpu"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+	"genesys/internal/workloads"
+)
+
+// Breakdown decomposes the end-to-end latency of a blocking GPU system
+// call into the paper's Figure 2 steps (GPU-side setup, interrupt
+// delivery, kernel queueing, CPU processing, completion notification),
+// for both wait modes and for an uncontended vs. a loaded machine. This
+// is the quantitative form of the paper's §VI "design guidelines".
+func Breakdown(o Options) *Table {
+	t := &Table{
+		ID:    "breakdown",
+		Title: "End-to-end latency breakdown of one blocking GPU system call (Figure 2 steps)",
+		Note: "Mean per-phase latency (us) of work-group-granularity pwrite(64B). Under load\n" +
+			"(64 work-groups), queueing dominates — the coalescing/granularity trade-offs of\n" +
+			"§V all move time between these phases.",
+		Header: append([]string{"configuration"}, append(core.Phases(), "total (us)")...),
+	}
+	run := func(label string, wait core.WaitMode, wgs int, tweak func(*platform.Config)) {
+		phase := map[string]*sim.Summary{}
+		for _, ph := range core.Phases() {
+			phase[ph] = &sim.Summary{}
+		}
+		total := sweep(o, func(seed int64) float64 {
+			m := newMachine(seed, tweak)
+			defer m.Shutdown()
+			pr := m.NewProcess("bd")
+			tr := core.NewTracer()
+			m.Genesys.SetTracer(tr)
+			f, err := m.VFS.Open("/tmp/bd", 0x42)
+			if err != nil {
+				panic(err)
+			}
+			fd, _ := pr.FDs.Install(f)
+			m.E.Spawn("host", func(p *sim.Proc) {
+				k := m.GPU.Launch(p, gpu.Kernel{
+					Name: "bd", WorkGroups: wgs, WGSize: 64,
+					Fn: func(w *gpu.Wavefront) {
+						for i := 0; i < 4; i++ {
+							m.Genesys.InvokeWG(w, syscalls.Request{
+								NR:   syscalls.SYS_pwrite64,
+								Args: [6]uint64{uint64(fd), 64, uint64(64 * w.WG.ID)},
+								Buf:  make([]byte, 64),
+							}, core.Options{Blocking: true, Wait: wait,
+								Ordering: core.Relaxed, Kind: core.Consumer})
+						}
+					},
+				})
+				k.Wait(p)
+				m.Genesys.Drain(p)
+			})
+			if err := m.Run(); err != nil {
+				panic(err)
+			}
+			for _, ph := range core.Phases() {
+				phase[ph].Add(tr.Phase(ph).Mean())
+			}
+			return tr.TotalMean()
+		})
+		row := []string{label}
+		for _, ph := range core.Phases() {
+			row = append(row, fmt.Sprintf("%.2f", phase[ph].Mean()))
+		}
+		row = append(row, f2(total))
+		t.AddRow(row...)
+	}
+	run("idle, polling", core.WaitPoll, 1, nil)
+	run("idle, halt-resume", core.WaitHaltResume, 1, nil)
+	run("loaded (64 WGs), polling", core.WaitPoll, 64, nil)
+	run("loaded (64 WGs), halt-resume", core.WaitHaltResume, 64, nil)
+	// Discrete GPU (§VI: "generalizes to discrete GPUs"): every phase
+	// that crosses PCIe gets more expensive.
+	dgpu := func(c *platform.Config) { *c = platform.DiscreteGPUConfig() }
+	run("discrete GPU, polling", core.WaitPoll, 1, dgpu)
+	run("discrete GPU, halt-resume", core.WaitHaltResume, 1, dgpu)
+	return t
+}
+
+var _ = workloads.GranWorkGroup // anchor the import for future sweeps

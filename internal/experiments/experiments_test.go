@@ -1,0 +1,15 @@
+package experiments
+
+import "testing"
+
+func TestSmokeAll(t *testing.T) {
+	o := Options{Runs: 1, BaseSeed: 1}
+	for _, id := range IDs() {
+		fn, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tbl := fn(o)
+		t.Logf("\n%s", tbl.Render())
+	}
+}

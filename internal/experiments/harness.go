@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables II-IV, Figures 7-16): each driver sweeps the same
+// parameters the paper reports, runs the simulation across several seeds,
+// and renders the same rows/series as a plain-text table with mean ±
+// standard deviation, mirroring the error bars in the paper's plots.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+)
+
+// Options controls how experiments are run.
+type Options struct {
+	// Runs is the number of seeded repetitions per data point (the paper
+	// uses 10-80; the default keeps regeneration fast).
+	Runs int
+	// BaseSeed is the first seed; run i uses BaseSeed+i.
+	BaseSeed int64
+}
+
+// DefaultOptions returns 3 runs from seed 1.
+func DefaultOptions() Options { return Options{Runs: 3, BaseSeed: 1} }
+
+func (o Options) runs() int {
+	if o.Runs <= 0 {
+		return 1
+	}
+	return o.Runs
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "fig7"
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render produces an aligned plain-text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", strings.ToUpper(t.ID), t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	all := append([][]string{t.Header}, t.Rows...)
+	widths := make([]int, 0)
+	for _, row := range all {
+		for i, c := range row {
+			for len(widths) <= i {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// newMachine builds a machine with the given seed and optional tweaks.
+func newMachine(seed int64, tweak func(*platform.Config)) *platform.Machine {
+	cfg := platform.DefaultConfig()
+	cfg.Seed = seed
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	return platform.New(cfg)
+}
+
+// sweep runs fn once per seed and feeds the returned metric into a
+// Summary.
+func sweep(o Options, fn func(seed int64) float64) *sim.Summary {
+	var s sim.Summary
+	for i := 0; i < o.runs(); i++ {
+		s.Add(fn(o.BaseSeed + int64(i)))
+	}
+	return &s
+}
+
+// ms formats a Summary of millisecond values as "mean ± std".
+func ms(s *sim.Summary) string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean(), s.Std())
+}
+
+// f2 formats a Summary with two decimals.
+func f2(s *sim.Summary) string {
+	return fmt.Sprintf("%.2f ± %.2f", s.Mean(), s.Std())
+}
+
+// f0 formats a Summary with no decimals.
+func f0(s *sim.Summary) string {
+	return fmt.Sprintf("%.0f ± %.0f", s.Mean(), s.Std())
+}
+
+// ratio formats a speedup of two summaries.
+func ratio(num, den *sim.Summary) string {
+	if den.Mean() == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", num.Mean()/den.Mean())
+}

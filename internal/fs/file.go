@@ -1,0 +1,194 @@
+package fs
+
+import (
+	"genesys/internal/errno"
+)
+
+// File is an open-file description: a node plus a file offset and open
+// flags. Read and Write advance the shared offset — the statefulness the
+// paper flags as hazardous for concurrent work-item invocation of
+// read/write on one descriptor (§IV), which Pread/Pwrite avoid.
+type File struct {
+	// Node backs data access; nil for pure devices and sockets.
+	Node FileNode
+	// Device backs ioctl/mmap; nil for regular files.
+	Device DeviceNode
+	// Special holds non-filesystem descriptions (e.g. a network socket).
+	Special any
+	// Path is the path the file was opened with, for diagnostics.
+	Path string
+
+	pos   int64
+	flags int
+}
+
+// NewFile constructs an open-file description outside Open — for stdio
+// wiring and synthetic descriptors like sockets.
+func NewFile(node FileNode, flags int, path string) *File {
+	return &File{Node: node, flags: flags, Path: path}
+}
+
+// Flags returns the open flags.
+func (f *File) Flags() int { return f.flags }
+
+// Pos returns the current file offset.
+func (f *File) Pos() int64 { return f.pos }
+
+func (f *File) readable() bool {
+	return f.flags&O_WRONLY == 0
+}
+
+func (f *File) writable() bool {
+	return f.flags&(O_WRONLY|O_RDWR) != 0
+}
+
+// Read reads from the current offset and advances it.
+func (f *File) Read(io *IOCtx, b []byte) (int, error) {
+	n, err := f.Pread(io, b, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Write writes at the current offset (or the end, with O_APPEND) and
+// advances it.
+func (f *File) Write(io *IOCtx, b []byte) (int, error) {
+	if f.flags&O_APPEND != 0 && f.Node != nil {
+		f.pos = f.Node.Size()
+	}
+	n, err := f.Pwrite(io, b, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Pread reads at an explicit offset without touching the file offset.
+func (f *File) Pread(io *IOCtx, b []byte, off int64) (int, error) {
+	if f.Node == nil {
+		return 0, errno.ESPIPE
+	}
+	if !f.readable() {
+		return 0, errno.EBADF
+	}
+	if off < 0 {
+		return 0, errno.EINVAL
+	}
+	return f.Node.ReadAt(io, b, off)
+}
+
+// Pwrite writes at an explicit offset without touching the file offset.
+func (f *File) Pwrite(io *IOCtx, b []byte, off int64) (int, error) {
+	if f.Node == nil {
+		return 0, errno.ESPIPE
+	}
+	if !f.writable() {
+		return 0, errno.EBADF
+	}
+	if off < 0 {
+		return 0, errno.EINVAL
+	}
+	return f.Node.WriteAt(io, b, off)
+}
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Lseek repositions the file offset and returns the new position.
+func (f *File) Lseek(off int64, whence int) (int64, error) {
+	if f.Node == nil {
+		return 0, errno.ESPIPE
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.pos
+	case SeekEnd:
+		base = f.Node.Size()
+	default:
+		return 0, errno.EINVAL
+	}
+	np := base + off
+	if np < 0 {
+		return 0, errno.EINVAL
+	}
+	f.pos = np
+	return np, nil
+}
+
+// Ioctl issues a device control command.
+func (f *File) Ioctl(io *IOCtx, cmd uint64, arg []byte) (uint64, error) {
+	if f.Device == nil {
+		return 0, errno.ENOTTY
+	}
+	return f.Device.Ioctl(io, cmd, arg)
+}
+
+// FDTable maps small integers to open-file descriptions, one per process.
+type FDTable struct {
+	files []*File
+	limit int
+}
+
+// NewFDTable returns a table with the given descriptor limit.
+func NewFDTable(limit int) *FDTable {
+	return &FDTable{limit: limit}
+}
+
+// Install places f at the lowest free descriptor and returns it.
+func (t *FDTable) Install(f *File) (int, error) {
+	for i, e := range t.files {
+		if e == nil {
+			t.files[i] = f
+			return i, nil
+		}
+	}
+	if len(t.files) >= t.limit {
+		return -1, errno.EMFILE
+	}
+	t.files = append(t.files, f)
+	return len(t.files) - 1, nil
+}
+
+// InstallAt places f at a specific descriptor (for stdio wiring).
+func (t *FDTable) InstallAt(fd int, f *File) error {
+	if fd < 0 || fd >= t.limit {
+		return errno.EBADF
+	}
+	for len(t.files) <= fd {
+		t.files = append(t.files, nil)
+	}
+	t.files[fd] = f
+	return nil
+}
+
+// Get returns the file at fd.
+func (t *FDTable) Get(fd int) (*File, error) {
+	if fd < 0 || fd >= len(t.files) || t.files[fd] == nil {
+		return nil, errno.EBADF
+	}
+	return t.files[fd], nil
+}
+
+// Close removes the descriptor.
+func (t *FDTable) Close(fd int) error {
+	if fd < 0 || fd >= len(t.files) || t.files[fd] == nil {
+		return errno.EBADF
+	}
+	t.files[fd] = nil
+	return nil
+}
+
+// OpenCount returns the number of open descriptors.
+func (t *FDTable) OpenCount() int {
+	n := 0
+	for _, f := range t.files {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,500 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genesys/internal/blockdev"
+	"genesys/internal/errno"
+	"genesys/internal/sim"
+)
+
+func newTmpVFS(t *testing.T) (*VFS, *Tmpfs) {
+	t.Helper()
+	v := NewVFS()
+	tfs := NewTmpfs()
+	if _, err := tfs.Mount(v, "/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	return v, tfs
+}
+
+func TestOpenCreateWriteRead(t *testing.T) {
+	v, _ := newTmpVFS(t)
+	f, err := v.Open("/tmp/hello.txt", O_RDWR|O_CREAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io := &IOCtx{}
+	if n, err := f.Write(io, []byte("hello world")); n != 11 || err != nil {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if _, err := f.Lseek(0, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := f.Read(io, buf)
+	if err != nil || string(buf[:n]) != "hello world" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+	// EOF
+	if n, err := f.Read(io, buf); n != 0 || err != nil {
+		t.Fatalf("read at EOF = %d, %v", n, err)
+	}
+}
+
+func TestStatefulOffsetSharedAcrossReads(t *testing.T) {
+	// The paper's point (§IV): read/write are stateful; the offset is per
+	// open-file description.
+	v, _ := newTmpVFS(t)
+	f, _ := v.Open("/tmp/f", O_RDWR|O_CREAT)
+	io := &IOCtx{}
+	f.Write(io, []byte("abcdef"))
+	f.Lseek(0, SeekSet)
+	b := make([]byte, 2)
+	f.Read(io, b)
+	if string(b) != "ab" {
+		t.Fatalf("first read = %q", b)
+	}
+	f.Read(io, b)
+	if string(b) != "cd" {
+		t.Fatalf("second read = %q", b)
+	}
+	if f.Pos() != 4 {
+		t.Fatalf("pos = %d", f.Pos())
+	}
+}
+
+func TestPreadDoesNotMoveOffset(t *testing.T) {
+	v, _ := newTmpVFS(t)
+	f, _ := v.Open("/tmp/f", O_RDWR|O_CREAT)
+	io := &IOCtx{}
+	f.Write(io, []byte("abcdef"))
+	b := make([]byte, 3)
+	if n, err := f.Pread(io, b, 2); n != 3 || err != nil || string(b) != "cde" {
+		t.Fatalf("pread = %q, %d, %v", b, n, err)
+	}
+	if f.Pos() != 6 {
+		t.Fatalf("pos moved to %d", f.Pos())
+	}
+}
+
+func TestPwriteAtArbitraryOffsets(t *testing.T) {
+	v, _ := newTmpVFS(t)
+	f, _ := v.Open("/tmp/f", O_RDWR|O_CREAT)
+	io := &IOCtx{}
+	if _, err := f.Pwrite(io, []byte("xy"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Node.Size() != 6 {
+		t.Fatalf("size = %d, want 6 (hole-extended)", f.Node.Size())
+	}
+	b := make([]byte, 6)
+	f.Pread(io, b, 0)
+	if !bytes.Equal(b, []byte{0, 0, 0, 0, 'x', 'y'}) {
+		t.Fatalf("content = %v", b)
+	}
+}
+
+func TestOpenFlags(t *testing.T) {
+	v, _ := newTmpVFS(t)
+	io := &IOCtx{}
+	if _, err := v.Open("/tmp/missing", O_RDONLY); err != errno.ENOENT {
+		t.Fatalf("open missing = %v", err)
+	}
+	f, _ := v.Open("/tmp/f", O_WRONLY|O_CREAT)
+	f.Write(io, []byte("data"))
+	if _, err := f.Read(io, make([]byte, 4)); err != errno.EBADF {
+		t.Fatalf("read on O_WRONLY = %v", err)
+	}
+	ro, _ := v.Open("/tmp/f", O_RDONLY)
+	if _, err := ro.Write(io, []byte("x")); err != errno.EBADF {
+		t.Fatalf("write on O_RDONLY = %v", err)
+	}
+	tr, _ := v.Open("/tmp/f", O_WRONLY|O_TRUNC)
+	if tr.Node.Size() != 0 {
+		t.Fatal("O_TRUNC did not truncate")
+	}
+	ap, _ := v.Open("/tmp/f", O_WRONLY|O_APPEND)
+	ap.Write(io, []byte("aa"))
+	ap2, _ := v.Open("/tmp/f", O_WRONLY|O_APPEND)
+	ap2.Write(io, []byte("bb"))
+	all := make([]byte, 8)
+	rd, _ := v.Open("/tmp/f", O_RDONLY)
+	n, _ := rd.Read(io, all)
+	if string(all[:n]) != "aabb" {
+		t.Fatalf("append content = %q", all[:n])
+	}
+}
+
+func TestLseekWhence(t *testing.T) {
+	v, _ := newTmpVFS(t)
+	f, _ := v.Open("/tmp/f", O_RDWR|O_CREAT)
+	io := &IOCtx{}
+	f.Write(io, []byte("0123456789"))
+	if pos, _ := f.Lseek(-3, SeekEnd); pos != 7 {
+		t.Fatalf("SeekEnd pos = %d", pos)
+	}
+	if pos, _ := f.Lseek(1, SeekCur); pos != 8 {
+		t.Fatalf("SeekCur pos = %d", pos)
+	}
+	if _, err := f.Lseek(-100, SeekCur); err != errno.EINVAL {
+		t.Fatalf("negative seek = %v", err)
+	}
+	if _, err := f.Lseek(0, 99); err != errno.EINVAL {
+		t.Fatalf("bad whence = %v", err)
+	}
+}
+
+func TestPathResolution(t *testing.T) {
+	v, _ := newTmpVFS(t)
+	if _, err := v.Open("relative", O_RDONLY); err != errno.EINVAL {
+		t.Fatalf("relative path = %v", err)
+	}
+	f, err := v.Open("/tmp/../tmp/./x", O_CREAT|O_RDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Path != "/tmp/../tmp/./x" {
+		t.Fatalf("path = %q", f.Path)
+	}
+	if _, err := v.Resolve("/tmp/x"); err != nil {
+		t.Fatalf("dot-dot normalization broken: %v", err)
+	}
+	if _, err := v.Resolve("/tmp/x/y"); err != errno.ENOTDIR {
+		t.Fatalf("file-as-dir = %v", err)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	v, _ := newTmpVFS(t)
+	v.Open("/tmp/gone", O_CREAT|O_WRONLY)
+	if err := v.Unlink("/tmp/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Resolve("/tmp/gone"); err != errno.ENOENT {
+		t.Fatalf("after unlink = %v", err)
+	}
+	if err := v.Unlink("/tmp"); err != errno.ENOTEMPTY && err != nil {
+		// /tmp is now empty, so removal is allowed.
+		t.Fatalf("unlink dir = %v", err)
+	}
+}
+
+func TestDirNames(t *testing.T) {
+	v, _ := newTmpVFS(t)
+	for _, n := range []string{"c", "a", "b"} {
+		v.Open("/tmp/"+n, O_CREAT|O_WRONLY)
+	}
+	d, err := v.ResolveDir("/tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(d.Names()) != "[a b c]" {
+		t.Fatalf("names = %v", d.Names())
+	}
+}
+
+func TestFDTable(t *testing.T) {
+	tb := NewFDTable(4)
+	f := &File{}
+	fd0, _ := tb.Install(f)
+	fd1, _ := tb.Install(f)
+	if fd0 != 0 || fd1 != 1 {
+		t.Fatalf("fds = %d, %d", fd0, fd1)
+	}
+	tb.Close(fd0)
+	fd2, _ := tb.Install(f) // reuses lowest free
+	if fd2 != 0 {
+		t.Fatalf("reused fd = %d", fd2)
+	}
+	tb.Install(f)
+	tb.Install(f)
+	if _, err := tb.Install(f); err != errno.EMFILE {
+		t.Fatalf("over limit = %v", err)
+	}
+	if _, err := tb.Get(99); err != errno.EBADF {
+		t.Fatalf("bad fd = %v", err)
+	}
+	if err := tb.Close(99); err != errno.EBADF {
+		t.Fatalf("close bad fd = %v", err)
+	}
+	if tb.OpenCount() != 4 {
+		t.Fatalf("open count = %d", tb.OpenCount())
+	}
+}
+
+func TestTmpfsChargesMemoryTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	v := NewVFS()
+	NewTmpfs().Mount(v, "/tmp")
+	f, _ := v.Open("/tmp/big", O_RDWR|O_CREAT)
+	f.Pwrite(&IOCtx{}, make([]byte, 1<<20), 0) // free setup write
+	var elapsed sim.Time
+	e.Spawn("reader", func(p *sim.Proc) {
+		start := p.Now()
+		buf := make([]byte, 1<<20)
+		f.Pread(&IOCtx{P: p}, buf, 0)
+		elapsed = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 MiB at 8 B/ns ≈ 131 us.
+	if elapsed < 80*sim.Microsecond || elapsed > 250*sim.Microsecond {
+		t.Fatalf("1MiB tmpfs read took %v, want ≈131us", elapsed)
+	}
+}
+
+func TestSSDFSPageCache(t *testing.T) {
+	e := sim.NewEngine(1)
+	dev := blockdev.New(e, blockdev.DefaultConfig())
+	v := NewVFS()
+	sfs := NewSSDFS(dev)
+	sfs.Mount(v, "/data")
+	f, _ := v.Open("/data/file", O_RDWR|O_CREAT)
+	f.Pwrite(&IOCtx{}, bytes.Repeat([]byte("x"), 1<<20), 0)
+	sfs.DropCaches()
+
+	var cold, warm sim.Time
+	e.Spawn("reader", func(p *sim.Proc) {
+		io := &IOCtx{P: p}
+		buf := make([]byte, 1<<20)
+		t0 := p.Now()
+		f.Pread(io, buf, 0)
+		cold = p.Now() - t0
+		t1 := p.Now()
+		f.Pread(io, buf, 0)
+		warm = p.Now() - t1
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.BytesRead.Value() != 1<<20 {
+		t.Fatalf("device read %d bytes, want 1MiB exactly (merged, once)", dev.BytesRead.Value())
+	}
+	if cold < 10*warm {
+		t.Fatalf("cold=%v warm=%v: page cache ineffective", cold, warm)
+	}
+}
+
+func TestSSDQueueDepthScaling(t *testing.T) {
+	// One serial reader vs 8 concurrent readers of separate files: the
+	// 8-channel device should give concurrent readers much higher
+	// aggregate throughput (the Figure 14 mechanism).
+	run := func(readers int) float64 {
+		e := sim.NewEngine(1)
+		dev := blockdev.New(e, blockdev.DefaultConfig())
+		v := NewVFS()
+		sfs := NewSSDFS(dev)
+		sfs.Mount(v, "/data")
+		const fileSize = 4 << 20
+		files := make([]*File, readers)
+		for i := range files {
+			f, _ := v.Open(fmt.Sprintf("/data/f%d", i), O_RDWR|O_CREAT)
+			f.Pwrite(&IOCtx{}, make([]byte, fileSize), 0)
+			files[i] = f
+		}
+		sfs.DropCaches()
+		for i := range files {
+			f := files[i]
+			e.Spawn("reader", func(p *sim.Proc) {
+				io := &IOCtx{P: p}
+				buf := make([]byte, 128<<10)
+				for off := int64(0); off < fileSize; off += int64(len(buf)) {
+					f.Pread(io, buf, off)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(readers*fileSize) / e.Now().Seconds() / 1e6 // MB/s
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial < 15 || serial > 40 {
+		t.Fatalf("serial throughput = %.1f MB/s, want ~25-30", serial)
+	}
+	if parallel < 4*serial {
+		t.Fatalf("parallel=%.1f serial=%.1f: channel parallelism missing", parallel, serial)
+	}
+}
+
+func TestConsole(t *testing.T) {
+	c := NewConsole()
+	io := &IOCtx{}
+	c.WriteAt(io, []byte("line1\n"), 0)
+	c.WriteAt(io, []byte("line2\n"), 0)
+	if c.Contents() != "line1\nline2\n" {
+		t.Fatalf("contents = %q", c.Contents())
+	}
+	if fmt.Sprint(c.Lines()) != "[line1 line2]" {
+		t.Fatalf("lines = %v", c.Lines())
+	}
+	if n, _ := c.ReadAt(io, make([]byte, 4), 0); n != 0 {
+		t.Fatal("console read returned data")
+	}
+}
+
+func TestNullAndZero(t *testing.T) {
+	io := &IOCtx{}
+	var n NullDev
+	if w, _ := n.WriteAt(io, []byte("xxx"), 0); w != 3 {
+		t.Fatal("null write")
+	}
+	if r, _ := n.ReadAt(io, make([]byte, 3), 0); r != 0 {
+		t.Fatal("null read")
+	}
+	var z ZeroDev
+	b := []byte{1, 2, 3}
+	z.ReadAt(io, b, 0)
+	if !bytes.Equal(b, []byte{0, 0, 0}) {
+		t.Fatal("zero read")
+	}
+}
+
+func TestGenAndCtlFiles(t *testing.T) {
+	g := &GenFile{Gen: func() []byte { return []byte("generated") }}
+	b := make([]byte, 16)
+	n, _ := g.ReadAt(&IOCtx{}, b, 0)
+	if string(b[:n]) != "generated" {
+		t.Fatalf("gen read = %q", b[:n])
+	}
+	if _, err := g.WriteAt(&IOCtx{}, []byte("x"), 0); err != errno.EACCES {
+		t.Fatalf("gen write = %v", err)
+	}
+	val := "old"
+	c := &CtlFile{
+		Get: func() []byte { return []byte(val) },
+		Set: func(b []byte) error { val = string(b); return nil },
+	}
+	c.WriteAt(&IOCtx{}, []byte("new"), 0)
+	if val != "new" {
+		t.Fatalf("ctl set = %q", val)
+	}
+}
+
+func TestFramebufferIoctlAndPixels(t *testing.T) {
+	fb := NewFramebuffer(VScreenInfo{XRes: 64, YRes: 32, BPP: 32})
+	io := &IOCtx{}
+	arg := make([]byte, 12)
+	if _, err := fb.Ioctl(io, FBIOGET_VSCREENINFO, arg); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := DecodeVScreenInfo(arg)
+	if info.XRes != 64 || info.YRes != 32 || info.BPP != 32 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Change the mode.
+	if _, err := fb.Ioctl(io, FBIOPUT_VSCREENINFO, VScreenInfo{XRes: 16, YRes: 16, BPP: 32}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Pixels()) != 16*16*4 {
+		t.Fatalf("pixels = %d bytes", len(fb.Pixels()))
+	}
+	if _, err := fb.Ioctl(io, 0xdead, arg); err != errno.ENOTTY {
+		t.Fatalf("unknown ioctl = %v", err)
+	}
+	if _, err := fb.Ioctl(io, FBIOPUT_VSCREENINFO, VScreenInfo{XRes: 0, YRes: 1, BPP: 32}.Encode()); err != errno.EINVAL {
+		t.Fatalf("invalid mode = %v", err)
+	}
+	fb.WriteAt(io, []byte{9, 9, 9, 9}, 0)
+	if fb.MmapBuffer()[0] != 9 {
+		t.Fatal("mmap buffer not aliased to pixel writes")
+	}
+}
+
+// Property: a tmpfs file behaves like a flat byte array under random
+// pwrite/pread sequences.
+func TestTmpfsMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := NewVFS()
+		NewTmpfs().Mount(v, "/t")
+		file, err := v.Open("/t/f", O_RDWR|O_CREAT)
+		if err != nil {
+			return false
+		}
+		io := &IOCtx{}
+		ref := make([]byte, 0, 4096)
+		for op := 0; op < 60; op++ {
+			off := int64(rng.Intn(2048))
+			l := rng.Intn(256)
+			if rng.Intn(2) == 0 {
+				data := make([]byte, l)
+				rng.Read(data)
+				file.Pwrite(io, data, off)
+				end := off + int64(l)
+				for int64(len(ref)) < end {
+					ref = append(ref, 0)
+				}
+				copy(ref[off:end], data)
+			} else {
+				got := make([]byte, l)
+				n, _ := file.Pread(io, got, off)
+				want := []byte{}
+				if off < int64(len(ref)) {
+					want = ref[off:min64(int64(len(ref)), off+int64(l))]
+				}
+				if n != len(want) || !bytes.Equal(got[:n], want) {
+					return false
+				}
+			}
+		}
+		return file.Node.Size() == int64(len(ref))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an SSDFS file returns identical data to tmpfs for the same
+// operation sequence (caching must never change contents).
+func TestSSDFSContentMatchesTmpfs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine(seed)
+		dev := blockdev.New(e, blockdev.DefaultConfig())
+		v := NewVFS()
+		sfs := NewSSDFS(dev)
+		sfs.Mount(v, "/d")
+		NewTmpfs().Mount(v, "/t")
+		a, _ := v.Open("/d/f", O_RDWR|O_CREAT)
+		b, _ := v.Open("/t/f", O_RDWR|O_CREAT)
+		io := &IOCtx{}
+		for op := 0; op < 40; op++ {
+			off := int64(rng.Intn(16384))
+			l := rng.Intn(4096)
+			data := make([]byte, l)
+			rng.Read(data)
+			a.Pwrite(io, data, off)
+			b.Pwrite(io, data, off)
+			if rng.Intn(4) == 0 {
+				sfs.DropCaches()
+			}
+			ra := make([]byte, 512)
+			rb := make([]byte, 512)
+			ro := int64(rng.Intn(16384))
+			na, _ := a.Pread(io, ra, ro)
+			nb, _ := b.Pread(io, rb, ro)
+			if na != nb || !bytes.Equal(ra[:na], rb[:nb]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package fs
+
+import (
+	"genesys/internal/errno"
+	"genesys/internal/sim"
+)
+
+// Pipe is a unidirectional byte channel with a bounded kernel buffer —
+// the substrate behind pipe(2) and the stdio redirection the paper's
+// "everything is a file" discussion highlights (§IV).
+type Pipe struct {
+	e        *sim.Engine
+	buf      []byte
+	capacity int
+
+	readers int
+	writers int
+
+	notEmpty *sim.Cond
+	notFull  *sim.Cond
+}
+
+// NewPipe returns a pipe with the given buffer capacity.
+func NewPipe(e *sim.Engine, capacity int) *Pipe {
+	if capacity <= 0 {
+		capacity = 64 << 10 // Linux default pipe buffer
+	}
+	return &Pipe{
+		e:        e,
+		capacity: capacity,
+		notEmpty: sim.NewCond(e),
+		notFull:  sim.NewCond(e),
+	}
+}
+
+// Ends returns the read and write file descriptions of the pipe.
+func (pp *Pipe) Ends() (r, w *File) {
+	pp.readers++
+	pp.writers++
+	r = &File{Node: &pipeEnd{p: pp, readable: true}, flags: O_RDONLY, Path: "pipe:[r]"}
+	w = &File{Node: &pipeEnd{p: pp, writable: true}, flags: O_WRONLY, Path: "pipe:[w]"}
+	return r, w
+}
+
+// Buffered returns the number of bytes waiting in the pipe.
+func (pp *Pipe) Buffered() int { return len(pp.buf) }
+
+// pipeEnd adapts one end of a pipe to FileNode. Offsets are ignored:
+// pipes are streams.
+type pipeEnd struct {
+	p        *Pipe
+	readable bool
+	writable bool
+	closed   bool
+}
+
+func (pe *pipeEnd) Size() int64 { return int64(len(pe.p.buf)) }
+
+func (pe *pipeEnd) ReadAt(io *IOCtx, b []byte, _ int64) (int, error) {
+	if !pe.readable || pe.closed {
+		return 0, errno.EBADF
+	}
+	pp := pe.p
+	for len(pp.buf) == 0 {
+		if pp.writers == 0 {
+			return 0, nil // EOF: all writers closed
+		}
+		if io == nil || io.P == nil {
+			return 0, errno.EAGAIN // cannot block without a process
+		}
+		pp.notEmpty.Wait(io.P, "pipe read")
+	}
+	n := copy(b, pp.buf)
+	pp.buf = pp.buf[n:]
+	pp.notFull.Broadcast()
+	ChargeCopy(io, int64(n), DefaultCopyBytesPerNS)
+	return n, nil
+}
+
+func (pe *pipeEnd) WriteAt(io *IOCtx, b []byte, _ int64) (int, error) {
+	if !pe.writable || pe.closed {
+		return 0, errno.EBADF
+	}
+	pp := pe.p
+	written := 0
+	for written < len(b) {
+		if pp.readers == 0 {
+			return written, errno.EPIPE
+		}
+		space := pp.capacity - len(pp.buf)
+		if space == 0 {
+			if io == nil || io.P == nil {
+				if written > 0 {
+					return written, nil
+				}
+				return 0, errno.EAGAIN
+			}
+			pp.notFull.Wait(io.P, "pipe write")
+			continue
+		}
+		chunk := b[written:]
+		if len(chunk) > space {
+			chunk = chunk[:space]
+		}
+		pp.buf = append(pp.buf, chunk...)
+		written += len(chunk)
+		pp.notEmpty.Broadcast()
+	}
+	ChargeCopy(io, int64(written), DefaultCopyBytesPerNS)
+	return written, nil
+}
+
+func (pe *pipeEnd) Truncate(int64) error { return errno.EINVAL }
+
+// ClosePipeEnd marks one end closed, waking blocked peers so they can
+// observe EOF/EPIPE. The syscall layer calls this from close(2).
+func ClosePipeEnd(f *File) {
+	pe, ok := f.Node.(*pipeEnd)
+	if !ok || pe.closed {
+		return
+	}
+	pe.closed = true
+	if pe.readable {
+		pe.p.readers--
+	}
+	if pe.writable {
+		pe.p.writers--
+	}
+	pe.p.notEmpty.Broadcast()
+	pe.p.notFull.Broadcast()
+}
+
+// IsPipe reports whether f is a pipe end.
+func IsPipe(f *File) bool {
+	_, ok := f.Node.(*pipeEnd)
+	return ok
+}

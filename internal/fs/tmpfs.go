@@ -1,0 +1,79 @@
+package fs
+
+import (
+	"genesys/internal/errno"
+)
+
+// Tmpfs is a memory-resident filesystem: reads and writes cost only the
+// memory-system copy, with no backing storage — the filesystem used by
+// the paper's invocation-granularity and coalescing microbenchmarks
+// (Figures 7 and 10).
+type Tmpfs struct {
+	// BytesPerNS is the per-core copy bandwidth charged for I/O.
+	BytesPerNS float64
+}
+
+// TmpfsBytesPerNS is tmpfs's per-core copy bandwidth: a pure memcpy
+// with no page-cache management, so roughly twice the default rate.
+const TmpfsBytesPerNS = 8.0
+
+// NewTmpfs returns a tmpfs charging copies at the memcpy rate.
+func NewTmpfs() *Tmpfs { return &Tmpfs{BytesPerNS: TmpfsBytesPerNS} }
+
+// NewFile creates an empty tmpfs file node.
+func (t *Tmpfs) NewFile() FileNode { return &tmpFile{fs: t} }
+
+// Mount creates path as a tmpfs directory tree.
+func (t *Tmpfs) Mount(v *VFS, path string) (*Dir, error) {
+	return v.MkdirAll(path, t.NewFile)
+}
+
+type tmpFile struct {
+	fs   *Tmpfs
+	data []byte
+}
+
+func (f *tmpFile) Size() int64 { return int64(len(f.data)) }
+
+func (f *tmpFile) charge(io *IOCtx, n int) {
+	ChargeCopy(io, int64(n), f.fs.BytesPerNS)
+}
+
+func (f *tmpFile) ReadAt(io *IOCtx, b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errno.EINVAL
+	}
+	if off >= int64(len(f.data)) {
+		return 0, nil // EOF
+	}
+	n := copy(b, f.data[off:])
+	f.charge(io, n)
+	return n, nil
+}
+
+func (f *tmpFile) WriteAt(io *IOCtx, b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errno.EINVAL
+	}
+	end := off + int64(len(b))
+	for int64(len(f.data)) < end {
+		f.data = append(f.data, 0)
+	}
+	n := copy(f.data[off:end], b)
+	f.charge(io, n)
+	return n, nil
+}
+
+func (f *tmpFile) Truncate(size int64) error {
+	if size < 0 {
+		return errno.EINVAL
+	}
+	if size <= int64(len(f.data)) {
+		f.data = f.data[:size]
+		return nil
+	}
+	for int64(len(f.data)) < size {
+		f.data = append(f.data, 0)
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+// Package gsh implements a tiny "GPU shell": classic Unix one-liners
+// (ls, cat, wc, grep, stat, df) executed as GPU kernels that obtain every
+// byte through GENESYS system calls and print through write(2) on the
+// simulated terminal. It is the "legacy software written to invoke
+// OS-managed services" demonstration the paper's introduction promises:
+// the commands' logic is ordinary file-walking code, unchanged except
+// that it runs on wavefronts.
+package gsh
+
+import (
+	"fmt"
+	"strings"
+
+	"genesys/internal/errno"
+	"genesys/internal/fs"
+	"genesys/internal/gclib"
+	"genesys/internal/gpu"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+)
+
+// Shell runs commands on one machine.
+type Shell struct {
+	M *platform.Machine
+	C gclib.C
+}
+
+// New builds a shell over m, creating a process if none is bound.
+func New(m *platform.Machine) *Shell {
+	if m.Genesys.Process() == nil {
+		m.NewProcess("gsh")
+	}
+	return &Shell{M: m, C: gclib.C{G: m.Genesys}}
+}
+
+// Run parses and executes one command line on the GPU and returns the
+// terminal output produced.
+func (s *Shell) Run(line string) (string, error) {
+	args := strings.Fields(line)
+	if len(args) == 0 {
+		return "", nil
+	}
+	cmd, ok := commands[args[0]]
+	if !ok {
+		return "", fmt.Errorf("gsh: unknown command %q (have: %s)", args[0],
+			strings.Join(CommandNames(), ", "))
+	}
+	before := len(s.M.OS.Console.Contents())
+	var runErr error
+	s.M.E.Spawn("gsh:"+args[0], func(p *sim.Proc) {
+		k := s.M.GPU.Launch(p, gpu.Kernel{
+			Name: "gsh-" + args[0], WorkGroups: 1, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				if err := cmd.fn(s, w, args[1:]); err != nil && w.IsLeader() {
+					runErr = err
+					s.C.Printf(w, "gsh: %s: %v\n", args[0], err)
+				}
+			},
+		})
+		k.Wait(p)
+		s.M.Genesys.Drain(p)
+	})
+	if err := s.M.E.Run(); err != nil {
+		return "", err
+	}
+	return s.M.OS.Console.Contents()[before:], runErr
+}
+
+type command struct {
+	usage string
+	fn    func(s *Shell, w *gpu.Wavefront, args []string) error
+}
+
+var commands = map[string]command{
+	"ls":   {"ls <dir>", cmdLs},
+	"cat":  {"cat <file>", cmdCat},
+	"wc":   {"wc <file>", cmdWc},
+	"grep": {"grep <word> <file...>", cmdGrep},
+	"stat": {"stat <path>", cmdStat},
+	"df":   {"df", cmdDf},
+}
+
+// CommandNames lists the available commands.
+func CommandNames() []string {
+	names := make([]string, 0, len(commands))
+	for n := range commands {
+		names = append(names, n)
+	}
+	// deterministic order
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return names
+}
+
+// Usage returns the usage lines of every command.
+func Usage() string {
+	var b strings.Builder
+	for _, n := range CommandNames() {
+		fmt.Fprintf(&b, "  %s\n", commands[n].usage)
+	}
+	return b.String()
+}
+
+func oneArg(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", errno.EINVAL
+	}
+	return args[0], nil
+}
+
+func cmdLs(s *Shell, w *gpu.Wavefront, args []string) error {
+	dir := "/"
+	if len(args) == 1 {
+		dir = args[0]
+	}
+	names, err := s.C.Getdents(w, dir)
+	if err != errno.OK {
+		return err
+	}
+	for _, n := range names {
+		size, isDir, serr := s.C.Stat(w, strings.TrimRight(dir, "/")+"/"+n)
+		kind := "-"
+		if serr == errno.OK && isDir {
+			kind = "d"
+		}
+		s.C.Printf(w, "%s %8d %s\n", kind, size, n)
+	}
+	return nil
+}
+
+func cmdCat(s *Shell, w *gpu.Wavefront, args []string) error {
+	path, err := oneArg(args)
+	if err != nil {
+		return err
+	}
+	fd, oerr := s.C.Open(w, path, fs.O_RDONLY)
+	if oerr != errno.OK {
+		return oerr
+	}
+	defer s.C.Close(w, fd)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := s.C.Read(w, fd, buf)
+		if rerr != errno.OK {
+			return rerr
+		}
+		if n == 0 {
+			return nil
+		}
+		s.C.Write(w, 1, buf[:n])
+	}
+}
+
+func cmdWc(s *Shell, w *gpu.Wavefront, args []string) error {
+	path, err := oneArg(args)
+	if err != nil {
+		return err
+	}
+	fd, oerr := s.C.Open(w, path, fs.O_RDONLY)
+	if oerr != errno.OK {
+		return oerr
+	}
+	defer s.C.Close(w, fd)
+	var lines, words, bytes int
+	inWord := false
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := s.C.Read(w, fd, buf)
+		if rerr != errno.OK {
+			return rerr
+		}
+		if n == 0 {
+			break
+		}
+		// The whole work-group scans the buffer cooperatively.
+		w.ComputeTime(sim.Time(n) * sim.Nanosecond / 8)
+		bytes += n
+		for _, c := range buf[:n] {
+			if c == '\n' {
+				lines++
+			}
+			isSpace := c == ' ' || c == '\n' || c == '\t'
+			if !isSpace && !inWord {
+				words++
+			}
+			inWord = !isSpace
+		}
+	}
+	s.C.Printf(w, "%7d %7d %7d %s\n", lines, words, bytes, path)
+	return nil
+}
+
+func cmdGrep(s *Shell, w *gpu.Wavefront, args []string) error {
+	if len(args) < 2 {
+		return errno.EINVAL
+	}
+	word := args[0]
+	for _, path := range args[1:] {
+		fd, oerr := s.C.Open(w, path, fs.O_RDONLY)
+		if oerr != errno.OK {
+			s.C.Printf(w, "gsh: grep: %s: %v\n", path, oerr)
+			continue
+		}
+		lineNo := 1
+		carry := ""
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := s.C.Read(w, fd, buf)
+			if rerr != errno.OK || n == 0 {
+				break
+			}
+			w.ComputeTime(sim.Time(n) * sim.Nanosecond / 8)
+			text := carry + string(buf[:n])
+			lines := strings.Split(text, "\n")
+			carry = lines[len(lines)-1]
+			for _, l := range lines[:len(lines)-1] {
+				if strings.Contains(l, word) {
+					s.C.Printf(w, "%s:%d:%s\n", path, lineNo, l)
+				}
+				lineNo++
+			}
+		}
+		if strings.Contains(carry, word) {
+			s.C.Printf(w, "%s:%d:%s\n", path, lineNo, carry)
+		}
+		s.C.Close(w, fd)
+	}
+	return nil
+}
+
+func cmdStat(s *Shell, w *gpu.Wavefront, args []string) error {
+	path, err := oneArg(args)
+	if err != nil {
+		return err
+	}
+	size, isDir, serr := s.C.Stat(w, path)
+	if serr != errno.OK {
+		return serr
+	}
+	kind := "regular file"
+	if isDir {
+		kind = "directory"
+	}
+	s.C.Printf(w, "  File: %s\n  Size: %d\n  Type: %s\n", path, size, kind)
+	return nil
+}
+
+func cmdDf(s *Shell, w *gpu.Wavefront, args []string) error {
+	fd, oerr := s.C.Open(w, "/proc/meminfo", fs.O_RDONLY)
+	if oerr != errno.OK {
+		return oerr
+	}
+	defer s.C.Close(w, fd)
+	buf := make([]byte, 512)
+	n, rerr := s.C.Read(w, fd, buf)
+	if rerr != errno.OK {
+		return rerr
+	}
+	s.C.Write(w, 1, buf[:n])
+	return nil
+}

@@ -1,0 +1,132 @@
+package gsh
+
+import (
+	"strings"
+	"testing"
+
+	"genesys/internal/platform"
+)
+
+func newShell(t *testing.T) *Shell {
+	t.Helper()
+	m := platform.New(platform.DefaultConfig())
+	t.Cleanup(m.Shutdown)
+	s := New(m)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.WriteFile("/tmp/poem.txt", []byte("roses are red\nviolets are blue\nGPUs make syscalls\nand so can you\n")))
+	must(m.WriteFile("/tmp/empty", nil))
+	return s
+}
+
+func TestLs(t *testing.T) {
+	s := newShell(t)
+	out, err := s.Run("ls /tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "poem.txt") || !strings.Contains(out, "empty") {
+		t.Fatalf("ls output:\n%s", out)
+	}
+	if !strings.Contains(out, "-       65 poem.txt") {
+		t.Fatalf("ls sizes wrong:\n%s", out)
+	}
+}
+
+func TestCat(t *testing.T) {
+	s := newShell(t)
+	out, err := s.Run("cat /tmp/poem.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "roses are red\n") || !strings.Contains(out, "and so can you") {
+		t.Fatalf("cat output:\n%s", out)
+	}
+}
+
+func TestWc(t *testing.T) {
+	s := newShell(t)
+	out, err := s.Run("wc /tmp/poem.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 lines, 13 words, 65 bytes.
+	if !strings.Contains(out, "4      13      65 /tmp/poem.txt") {
+		t.Fatalf("wc output: %q", out)
+	}
+}
+
+func TestGrep(t *testing.T) {
+	s := newShell(t)
+	out, err := s.Run("grep are /tmp/poem.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "/tmp/poem.txt:1:roses are red") ||
+		!strings.Contains(out, "/tmp/poem.txt:2:violets are blue") ||
+		strings.Contains(out, ":3:") {
+		t.Fatalf("grep output:\n%s", out)
+	}
+}
+
+func TestStatAndDf(t *testing.T) {
+	s := newShell(t)
+	out, err := s.Run("stat /tmp/poem.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Size: 65") || !strings.Contains(out, "regular file") {
+		t.Fatalf("stat output:\n%s", out)
+	}
+	out, err = s.Run("stat /tmp")
+	if err != nil || !strings.Contains(out, "directory") {
+		t.Fatalf("stat dir: %v\n%s", err, out)
+	}
+	out, err = s.Run("df")
+	if err != nil || !strings.Contains(out, "MemTotal:") {
+		t.Fatalf("df: %v\n%s", err, out)
+	}
+}
+
+func TestErrorsSurfaceOnTerminal(t *testing.T) {
+	s := newShell(t)
+	out, err := s.Run("cat /tmp/missing")
+	if err == nil {
+		t.Fatal("cat of missing file should error")
+	}
+	if !strings.Contains(out, "ENOENT") {
+		t.Fatalf("error not printed:\n%s", out)
+	}
+	if _, err := s.Run("frobnicate"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if out, _ := s.Run(""); out != "" {
+		t.Fatal("empty line produced output")
+	}
+}
+
+func TestEverythingRanOnTheGPU(t *testing.T) {
+	s := newShell(t)
+	if _, err := s.Run("wc /tmp/poem.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if s.M.GPU.KernelsLaunched.Value() == 0 {
+		t.Fatal("no kernel launched")
+	}
+	if s.M.Genesys.Invocations.Value() < 3 {
+		t.Fatalf("only %d GPU syscalls", s.M.Genesys.Invocations.Value())
+	}
+}
+
+func TestUsageAndNames(t *testing.T) {
+	names := CommandNames()
+	if len(names) != 6 || names[0] != "cat" {
+		t.Fatalf("names = %v", names)
+	}
+	if !strings.Contains(Usage(), "grep <word> <file...>") {
+		t.Fatalf("usage:\n%s", Usage())
+	}
+}

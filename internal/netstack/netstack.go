@@ -1,0 +1,183 @@
+// Package netstack models a minimal UDP stack: datagram sockets with
+// bind/sendto/recvfrom semantics, bounded receive queues (overflowing
+// datagrams are dropped, as UDP does), and configurable delivery latency.
+// It is the substrate for the paper's memcached case study (§VIII-D),
+// which GENESYS serves with plain POSIX sendto/recvfrom — no RDMA.
+package netstack
+
+import (
+	"genesys/internal/errno"
+	"genesys/internal/sim"
+)
+
+// Config holds stack parameters.
+type Config struct {
+	DeliveryLatency sim.Time // one-way datagram latency
+	JitterMax       sim.Time // uniform extra latency [0, JitterMax)
+	RecvQueueCap    int      // per-socket receive queue capacity
+	MaxDatagram     int      // maximum payload size
+}
+
+// DefaultConfig returns a LAN-like stack: 20 us delivery, 5 us jitter,
+// 512-datagram socket buffers, 64 KiB max payload.
+func DefaultConfig() Config {
+	return Config{
+		DeliveryLatency: 20 * sim.Microsecond,
+		JitterMax:       5 * sim.Microsecond,
+		RecvQueueCap:    512,
+		MaxDatagram:     64 << 10,
+	}
+}
+
+// Datagram is one UDP message.
+type Datagram struct {
+	SrcPort int
+	DstPort int
+	Data    []byte
+	SentAt  sim.Time
+}
+
+// Stack is the simulated network.
+type Stack struct {
+	e     *sim.Engine
+	cfg   Config
+	ports map[int]*Socket
+
+	nextEphemeral int
+
+	Sent    sim.Counter
+	Dropped sim.Counter
+}
+
+// New returns a stack bound to e.
+func New(e *sim.Engine, cfg Config) *Stack {
+	if cfg.RecvQueueCap <= 0 {
+		cfg.RecvQueueCap = 512
+	}
+	if cfg.MaxDatagram <= 0 {
+		cfg.MaxDatagram = 64 << 10
+	}
+	return &Stack{e: e, cfg: cfg, ports: make(map[int]*Socket), nextEphemeral: 32768}
+}
+
+// Config returns the stack configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Socket is a UDP socket.
+type Socket struct {
+	stack *Stack
+	port  int // 0 = unbound
+	recvQ *sim.Queue[Datagram]
+	open  bool
+}
+
+// NewSocket creates an unbound socket.
+func (s *Stack) NewSocket() *Socket {
+	return &Socket{
+		stack: s,
+		recvQ: sim.NewQueue[Datagram](s.e, "udp-recv", s.cfg.RecvQueueCap),
+		open:  true,
+	}
+}
+
+// Port returns the bound port (0 if unbound).
+func (sk *Socket) Port() int { return sk.port }
+
+// Bind attaches the socket to a port; port 0 picks an ephemeral one.
+func (sk *Socket) Bind(port int) error {
+	if !sk.open {
+		return errno.EBADF
+	}
+	if sk.port != 0 {
+		return errno.EINVAL
+	}
+	st := sk.stack
+	if port == 0 {
+		for {
+			st.nextEphemeral++
+			if st.nextEphemeral > 60999 {
+				st.nextEphemeral = 32768
+			}
+			if _, used := st.ports[st.nextEphemeral]; !used {
+				port = st.nextEphemeral
+				break
+			}
+		}
+	} else if _, used := st.ports[port]; used {
+		return errno.EADDRINUSE
+	}
+	st.ports[port] = sk
+	sk.port = port
+	return nil
+}
+
+// Close releases the socket and its port.
+func (sk *Socket) Close() {
+	if !sk.open {
+		return
+	}
+	sk.open = false
+	if sk.port != 0 {
+		delete(sk.stack.ports, sk.port)
+		sk.port = 0
+	}
+}
+
+// ensureBound lazily binds an ephemeral port (sendto on unbound socket).
+func (sk *Socket) ensureBound() error {
+	if sk.port == 0 {
+		return sk.Bind(0)
+	}
+	return nil
+}
+
+// SendTo transmits data to dstPort. Delivery happens after the stack
+// latency; if the destination queue is full the datagram is dropped.
+// Safe to call from procs; the wire latency is not charged to the sender.
+func (sk *Socket) SendTo(dstPort int, data []byte) error {
+	if !sk.open {
+		return errno.EBADF
+	}
+	if len(data) > sk.stack.cfg.MaxDatagram {
+		return errno.EMSGSIZE
+	}
+	if err := sk.ensureBound(); err != nil {
+		return err
+	}
+	st := sk.stack
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	dg := Datagram{SrcPort: sk.port, DstPort: dstPort, Data: payload, SentAt: st.e.Now()}
+	delay := st.cfg.DeliveryLatency
+	if st.cfg.JitterMax > 0 {
+		delay += sim.Time(st.e.Rand.Int63n(int64(st.cfg.JitterMax)))
+	}
+	st.Sent.Inc()
+	st.e.After(delay, func() {
+		dst, ok := st.ports[dg.DstPort]
+		if !ok || !dst.open {
+			st.Dropped.Inc()
+			return
+		}
+		if !dst.recvQ.TryPut(dg) {
+			st.Dropped.Inc()
+		}
+	})
+	return nil
+}
+
+// RecvFrom blocks until a datagram arrives and returns it.
+func (sk *Socket) RecvFrom(p *sim.Proc) (Datagram, error) {
+	if !sk.open {
+		return Datagram{}, errno.EBADF
+	}
+	return sk.recvQ.Get(p), nil
+}
+
+// TryRecv returns a queued datagram without blocking.
+func (sk *Socket) TryRecv() (Datagram, bool) {
+	return sk.recvQ.TryGet()
+}
+
+// QueueLen returns the receive queue depth.
+func (sk *Socket) QueueLen() int { return sk.recvQ.Len() }

@@ -1,0 +1,172 @@
+// Package platform assembles the full simulated machine the experiments
+// run on: CPU, GPU, memory system, kernel, filesystems (tmpfs + SSD),
+// network stack, framebuffer and the GENESYS layer — the counterpart of
+// the paper's Table III testbed.
+package platform
+
+import (
+	"fmt"
+
+	"genesys/internal/blockdev"
+	"genesys/internal/core"
+	"genesys/internal/cpu"
+	"genesys/internal/fs"
+	"genesys/internal/gpu"
+	"genesys/internal/mem"
+	"genesys/internal/netstack"
+	"genesys/internal/oskern"
+	"genesys/internal/sim"
+	"genesys/internal/vmm"
+)
+
+// Config aggregates every subsystem's configuration.
+type Config struct {
+	Seed    int64
+	CPU     cpu.Config
+	GPU     gpu.Config
+	Mem     mem.Config
+	Kernel  oskern.Config
+	VM      vmm.Config
+	SSD     blockdev.Config
+	Net     netstack.Config
+	Genesys core.Config
+	FB      fs.VScreenInfo
+}
+
+// DefaultConfig mirrors the paper's FX-9800P platform (Table III): 4 CPU
+// cores @ 2.7 GHz, an 8-CU GCN3-like integrated GPU @ 758 MHz, 16 GB of
+// shared DDR4, Linux-like kernel costs, an 8-channel SATA-class SSD and
+// a UDP network stack.
+func DefaultConfig() Config {
+	return Config{
+		Seed:    1,
+		CPU:     cpu.DefaultConfig(),
+		GPU:     gpu.DefaultConfig(),
+		Mem:     mem.DefaultConfig(),
+		Kernel:  oskern.DefaultConfig(),
+		VM:      vmm.DefaultConfig(),
+		SSD:     blockdev.DefaultConfig(),
+		Net:     netstack.DefaultConfig(),
+		Genesys: core.DefaultConfig(),
+		FB:      fs.VScreenInfo{XRes: 1024, YRes: 768, BPP: 32},
+	}
+}
+
+// DiscreteGPUConfig models the same machine with a discrete PCIe GPU
+// instead of the integrated one — the paper notes GENESYS "is not
+// specific to integrated GPUs, and generalizes to discrete GPUs" (§VI).
+// The differences that matter to GENESYS: a bigger, faster GPU; syscall
+// area traffic and interrupts that cross PCIe (higher atomic and
+// delivery latencies); and a costlier wavefront resume path.
+func DiscreteGPUConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GPU.CUs = 36
+	cfg.GPU.ClockMHz = 1250
+	cfg.GPU.InterruptLatency = 15 * sim.Microsecond // PCIe MSI
+	cfg.GPU.ResumeLatency = 30 * sim.Microsecond    // doorbell across PCIe
+	// Atomics on host-visible memory now pay a PCIe round trip.
+	cfg.Mem.CmpSwapTime = sim.Micros(4.8)
+	cfg.Mem.SwapTime = sim.Micros(4.4)
+	cfg.Mem.AtomicLoadTime = sim.Micros(3.6)
+	cfg.Mem.LineWriteTime = 900 * sim.Nanosecond
+	return cfg
+}
+
+// Machine is one assembled system.
+type Machine struct {
+	Cfg Config
+
+	E       *sim.Engine
+	CPU     *cpu.CPU
+	GPU     *gpu.Device
+	Mem     *mem.System
+	VFS     *fs.VFS
+	Tmpfs   *fs.Tmpfs
+	SSDFS   *fs.SSDFS
+	SSD     *blockdev.SSD
+	Net     *netstack.Stack
+	OS      *oskern.OS
+	Genesys *core.Genesys
+	FB      *fs.Framebuffer
+}
+
+// New builds a machine: engine, substrates, kernel namespaces (/dev,
+// /proc, /sys, /tmp on tmpfs, /data on the SSD) and the GENESYS layer.
+func New(cfg Config) *Machine {
+	e := sim.NewEngine(cfg.Seed)
+	m := &Machine{Cfg: cfg, E: e}
+	m.Mem = mem.New(e, cfg.Mem)
+	m.CPU = cpu.New(e, cfg.CPU)
+	m.GPU = gpu.New(e, cfg.GPU)
+	m.VFS = fs.NewVFS()
+	m.Net = netstack.New(e, cfg.Net)
+	pool := &vmm.Pool{Total: cfg.VM.PhysPages}
+	m.OS = oskern.New(e, m.CPU, m.VFS, m.Net, pool, cfg.VM, cfg.Kernel)
+
+	m.Tmpfs = fs.NewTmpfs()
+	if _, err := m.Tmpfs.Mount(m.VFS, "/tmp"); err != nil {
+		panic(err)
+	}
+	m.SSD = blockdev.New(e, cfg.SSD)
+	m.SSDFS = fs.NewSSDFS(m.SSD)
+	if _, err := m.SSDFS.Mount(m.VFS, "/data"); err != nil {
+		panic(err)
+	}
+	m.FB = fs.NewFramebuffer(cfg.FB)
+	m.OS.AddDevice("fb0", m.FB)
+
+	m.OS.AttachGPU(m.GPU)
+	m.Genesys = core.New(e, m.GPU, m.OS, m.Mem, m.CPU, cfg.Genesys)
+	return m
+}
+
+// NewProcess creates a process and binds it as the GENESYS syscall
+// context if none is bound yet.
+func (m *Machine) NewProcess(name string) *oskern.Process {
+	pr := m.OS.NewProcess(name)
+	if m.Genesys.Process() == nil {
+		m.Genesys.BindProcess(pr)
+	}
+	return pr
+}
+
+// WriteFile creates path with the given contents (setup helper; costs
+// nothing in virtual time).
+func (m *Machine) WriteFile(path string, data []byte) error {
+	f, err := m.VFS.Open(path, fs.O_CREAT|fs.O_WRONLY|fs.O_TRUNC)
+	if err != nil {
+		return err
+	}
+	_, err = f.Pwrite(&fs.IOCtx{}, data, 0)
+	return err
+}
+
+// ReadFile returns the contents of path (setup/verification helper).
+func (m *Machine) ReadFile(path string) ([]byte, error) {
+	f, err := m.VFS.Open(path, fs.O_RDONLY)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, f.Node.Size())
+	n, err := f.Pread(&fs.IOCtx{}, buf, 0)
+	return buf[:n], err
+}
+
+// Run drives the simulation to quiescence.
+func (m *Machine) Run() error { return m.E.Run() }
+
+// Shutdown reaps all simulation processes; call once per machine when
+// done (e.g. deferred in tests).
+func (m *Machine) Shutdown() { m.E.Shutdown() }
+
+// Describe renders the Table III-style configuration summary.
+func (m *Machine) Describe() string {
+	g, c := m.Cfg.GPU, m.Cfg.CPU
+	return fmt.Sprintf(
+		"CPU: %d cores @ %d MHz | GPU: %d CUs @ %d MHz, SIMD-%d, %d wavefronts/CU (%d HW work-items) | "+
+			"syscall area: %d KiB | DRAM: %.1f GB/s | GPU L2: %d lines | SSD: %d ch × %.0f MB/s | workers: %d",
+		c.Cores, c.ClockMHz, g.CUs, g.ClockMHz, g.SIMDWidth, g.WavefrontsPerCU,
+		m.GPU.HWWorkItems(), m.Genesys.AreaBytes()/1024, m.Cfg.Mem.DRAMBandwidth,
+		m.Cfg.Mem.L2Lines, m.Cfg.SSD.Channels, m.Cfg.SSD.ChannelBandwidth*1000,
+		m.Cfg.Kernel.Workers)
+}

@@ -1,0 +1,71 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMachineAssembly(t *testing.T) {
+	m := New(DefaultConfig())
+	defer m.Shutdown()
+	// Every subsystem wired.
+	if m.E == nil || m.CPU == nil || m.GPU == nil || m.Mem == nil ||
+		m.VFS == nil || m.Tmpfs == nil || m.SSDFS == nil || m.SSD == nil ||
+		m.Net == nil || m.OS == nil || m.Genesys == nil || m.FB == nil {
+		t.Fatal("incomplete machine")
+	}
+	// Standard namespaces present.
+	for _, p := range []string{"/tmp", "/data", "/dev", "/proc", "/sys/genesys"} {
+		if _, err := m.VFS.ResolveDir(p); err != nil {
+			t.Fatalf("missing %s: %v", p, err)
+		}
+	}
+	if _, err := m.VFS.Resolve("/dev/fb0"); err != nil {
+		t.Fatal("framebuffer not mounted")
+	}
+	if m.OS.GPU != m.GPU {
+		t.Fatal("GPU not attached to the kernel")
+	}
+}
+
+func TestProcessBindingDefaultsToFirst(t *testing.T) {
+	m := New(DefaultConfig())
+	defer m.Shutdown()
+	a := m.NewProcess("a")
+	b := m.NewProcess("b")
+	if m.Genesys.Process() != a {
+		t.Fatal("first process should be the default GENESYS binding")
+	}
+	if a.PID == b.PID {
+		t.Fatal("pid collision")
+	}
+}
+
+func TestWriteReadFileHelpers(t *testing.T) {
+	m := New(DefaultConfig())
+	defer m.Shutdown()
+	if err := m.WriteFile("/tmp/x", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.ReadFile("/tmp/x")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if err := m.WriteFile("/nonexistent/x", nil); err == nil {
+		t.Fatal("write into missing dir should fail")
+	}
+	if _, err := m.ReadFile("/tmp/missing"); err == nil {
+		t.Fatal("read of missing file should fail")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m := New(DefaultConfig())
+	defer m.Shutdown()
+	d := m.Describe()
+	for _, want := range []string{"4 cores", "8 CUs", "20480", "1280 KiB"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe() missing %q:\n%s", want, d)
+		}
+	}
+}

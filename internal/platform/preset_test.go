@@ -1,0 +1,32 @@
+package platform
+
+import (
+	"testing"
+
+	"genesys/internal/sim"
+)
+
+func TestDiscreteGPUConfig(t *testing.T) {
+	igpu := DefaultConfig()
+	dgpu := DiscreteGPUConfig()
+	if dgpu.GPU.CUs <= igpu.GPU.CUs {
+		t.Fatal("discrete GPU should be bigger")
+	}
+	if dgpu.GPU.InterruptLatency <= igpu.GPU.InterruptLatency ||
+		dgpu.GPU.ResumeLatency <= igpu.GPU.ResumeLatency {
+		t.Fatal("PCIe crossing should raise interrupt/resume latency")
+	}
+	if dgpu.Mem.CmpSwapTime <= igpu.Mem.CmpSwapTime {
+		t.Fatal("PCIe atomics should cost more")
+	}
+	// The machine assembles and sizes its syscall area to the bigger GPU.
+	m := New(dgpu)
+	defer m.Shutdown()
+	if m.GPU.HWWorkItems() != 36*40*64 {
+		t.Fatalf("hw work-items = %d", m.GPU.HWWorkItems())
+	}
+	if m.Genesys.AreaBytes() != 36*40*64*64 {
+		t.Fatalf("area = %d", m.Genesys.AreaBytes())
+	}
+	_ = sim.Time(0)
+}

@@ -1,0 +1,403 @@
+// Package sim provides the discrete-event simulation kernel that the rest
+// of the GENESYS reproduction is built on.
+//
+// The engine advances a virtual clock by executing events in (time,
+// sequence) order. Two kinds of activity exist:
+//
+//   - callbacks: plain functions scheduled with At/After; they run inline
+//     in the engine loop and must not block, and
+//   - processes: goroutines written in ordinary imperative style that
+//     interact with virtual time through Sleep, Cond.Wait, Queue and
+//     Resource operations.
+//
+// Exactly one process (or the engine loop itself) runs at any instant; the
+// engine hands a single execution token back and forth over channels, so
+// simulations are bit-deterministic for a given seed and free of data
+// races by construction.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Micros constructs a Time from a (possibly fractional) number of
+// microseconds.
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micro reports t as a floating-point number of microseconds.
+func (t Time) Micro() float64 { return float64(t) / float64(Microsecond) }
+
+// Milli reports t as a floating-point number of milliseconds.
+func (t Time) Milli() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Micro())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Milli())
+	default:
+		return fmt.Sprintf("%.4fs", t.Seconds())
+	}
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procNew procState = iota
+	procRunnable
+	procRunning
+	procBlocked
+	procDone
+)
+
+type killSignal struct{}
+
+// Proc is a simulated process: a goroutine whose interaction with time is
+// mediated by the engine. All Proc methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	e       *Engine
+	name    string
+	wake    chan struct{}
+	state   procState
+	reason  string // why the proc is blocked, for deadlock reports
+	daemon  bool
+	killed  bool
+	started bool
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Rand returns the engine's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.e.Rand }
+
+// event is one scheduled occurrence. Exactly one of p or fn is set.
+type event struct {
+	t        Time
+	seq      uint64
+	p        *Proc
+	fn       func()
+	canceled bool
+}
+
+// Timer is a handle to a scheduled callback that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel stops the timer's callback from running. Canceling an
+// already-fired or already-canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Engine is the discrete-event simulation core.
+type Engine struct {
+	now   Time
+	heap  []*event
+	seq   uint64
+	yield chan struct{}
+
+	procs    []*Proc
+	live     int // procs spawned and not yet done
+	liveUser int // live non-daemon procs
+	fatal    error
+
+	// Rand is the engine-wide deterministic random source.
+	Rand *rand.Rand
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		Rand:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// --- event heap (min-heap ordered by (t, seq)) ---
+
+func (e *Engine) pushEvent(ev *event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if eventLess(e.heap[i], e.heap[parent]) {
+			e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+			i = parent
+		} else {
+			break
+		}
+	}
+}
+
+func (e *Engine) popEvent() *event {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		n := len(e.heap) - 1
+		e.heap[0] = e.heap[n]
+		e.heap[n] = nil
+		e.heap = e.heap[:n]
+		if n > 0 {
+			i := 0
+			for {
+				l, r := 2*i+1, 2*i+2
+				least := i
+				if l < n && eventLess(e.heap[l], e.heap[least]) {
+					least = l
+				}
+				if r < n && eventLess(e.heap[r], e.heap[least]) {
+					least = r
+				}
+				if least == i {
+					break
+				}
+				e.heap[i], e.heap[least] = e.heap[least], e.heap[i]
+				i = least
+			}
+		}
+		if !top.canceled {
+			return top
+		}
+	}
+	return nil
+}
+
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) schedule(t Time, p *Proc, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, p: p, fn: fn}
+	e.pushEvent(ev)
+	return ev
+}
+
+// At schedules fn to run as a callback at absolute time t. Callbacks run
+// inline in the engine loop and must not block.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	return &Timer{ev: e.schedule(t, nil, fn)}
+}
+
+// After schedules fn to run as a callback d from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Spawn starts a new process named name running fn. The process begins
+// execution at the current virtual time, after the caller next yields to
+// the engine.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon starts a process that is expected to block forever (worker
+// pools, dispatchers). Daemons do not count toward deadlock detection and
+// are reaped by Shutdown.
+func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
+	p := &Proc{e: e, name: name, wake: make(chan struct{}), daemon: daemon}
+	e.procs = append(e.procs, p)
+	e.live++
+	if !daemon {
+		e.liveUser++
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killSignal); !isKill && e.fatal == nil {
+					e.fatal = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}
+			p.state = procDone
+			e.live--
+			if !p.daemon {
+				e.liveUser--
+			}
+			e.yield <- struct{}{}
+		}()
+		<-p.wake
+		if p.killed {
+			panic(killSignal{})
+		}
+		p.state = procRunning
+		fn(p)
+	}()
+	e.schedule(e.now, p, nil)
+	p.state = procRunnable
+	return p
+}
+
+// resume hands the execution token to p and waits for it to come back.
+func (e *Engine) resume(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.wake <- struct{}{}
+	<-e.yield
+}
+
+// switchToEngine gives the token back to the engine and blocks until the
+// engine resumes this process.
+func (p *Proc) switchToEngine() {
+	p.e.yield <- struct{}{}
+	<-p.wake
+	if p.killed {
+		panic(killSignal{})
+	}
+	p.state = procRunning
+}
+
+// Sleep suspends the process for duration d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.e.schedule(p.e.now+d, p, nil)
+	p.state = procBlocked
+	p.reason = "sleep"
+	p.switchToEngine()
+}
+
+// Yield reschedules the process at the current time, letting any other
+// event scheduled for this instant run first.
+func (p *Proc) Yield() {
+	p.e.schedule(p.e.now, p, nil)
+	p.state = procBlocked
+	p.reason = "yield"
+	p.switchToEngine()
+}
+
+// block suspends the process with no scheduled wake-up; something else
+// (a Cond, Queue or Resource) must schedule its resumption.
+func (p *Proc) block(reason string) {
+	p.state = procBlocked
+	p.reason = reason
+	p.switchToEngine()
+}
+
+// unblock schedules p to resume at the current time.
+func (p *Proc) unblock() {
+	p.e.schedule(p.e.now, p, nil)
+	p.state = procRunnable
+}
+
+// ErrDeadlock is returned by Run when no events remain but non-daemon
+// processes are still blocked.
+type ErrDeadlock struct {
+	Now     Time
+	Blocked []string // "name (reason)" for each blocked non-daemon proc
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d proc(s) blocked forever: %s",
+		e.Now, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Run executes events until none remain. It returns nil on quiescence
+// (all non-daemon processes finished), an *ErrDeadlock if non-daemon
+// processes are blocked with no pending events, or the panic error of a
+// crashed process.
+func (e *Engine) Run() error { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with time ≤ limit. Reaching the limit with
+// events still pending is not an error; the clock is left at limit.
+func (e *Engine) RunUntil(limit Time) error {
+	for {
+		if e.fatal != nil {
+			return e.fatal
+		}
+		ev := e.popEvent()
+		if ev == nil {
+			if e.liveUser > 0 {
+				return e.deadlockErr()
+			}
+			return nil
+		}
+		if ev.t > limit {
+			e.pushEvent(ev) // keep for a later RunUntil
+			e.now = limit
+			return nil
+		}
+		e.now = ev.t
+		if ev.p != nil {
+			e.resume(ev.p)
+		} else {
+			ev.fn()
+		}
+	}
+}
+
+func (e *Engine) deadlockErr() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if !p.daemon && p.state == procBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.reason))
+		}
+	}
+	sort.Strings(blocked)
+	return &ErrDeadlock{Now: e.now, Blocked: blocked}
+}
+
+// Shutdown kills every still-live process so no goroutines leak. It must
+// be called from outside the engine loop (i.e. not from a proc or
+// callback), typically after Run returns.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		if p.state == procDone || p.state == procNew {
+			continue
+		}
+		p.killed = true
+		e.resume(p)
+	}
+	e.heap = nil
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates scalar samples and reports count, mean and standard
+// deviation using Welford's online algorithm.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Std returns the sample standard deviation (0 for fewer than 2 samples).
+func (s *Summary) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest sample (0 for no samples).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 for no samples).
+func (s *Summary) Max() float64 { return s.max }
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.3g ± %.2g (n=%d)", s.Mean(), s.Std(), s.n)
+}
+
+// Series accumulates values into fixed-width virtual-time bins; it backs
+// time-series traces such as CPU utilization and disk throughput.
+type Series struct {
+	BinWidth Time
+	bins     []float64
+}
+
+// NewSeries returns a series with the given bin width.
+func NewSeries(binWidth Time) *Series {
+	if binWidth <= 0 {
+		panic("sim: series bin width must be positive")
+	}
+	return &Series{BinWidth: binWidth}
+}
+
+func (s *Series) grow(idx int) {
+	for len(s.bins) <= idx {
+		s.bins = append(s.bins, 0)
+	}
+}
+
+// Add accumulates v into the bin containing time t.
+func (s *Series) Add(t Time, v float64) {
+	if t < 0 {
+		return
+	}
+	idx := int(t / s.BinWidth)
+	s.grow(idx)
+	s.bins[idx] += v
+}
+
+// AddInterval spreads v uniformly over [t0, t1).
+func (s *Series) AddInterval(t0, t1 Time, v float64) {
+	if t1 <= t0 {
+		s.Add(t0, v)
+		return
+	}
+	total := float64(t1 - t0)
+	for t := t0; t < t1; {
+		binEnd := (t/s.BinWidth + 1) * s.BinWidth
+		if binEnd > t1 {
+			binEnd = t1
+		}
+		s.Add(t, v*float64(binEnd-t)/total)
+		t = binEnd
+	}
+}
+
+// Bins returns a copy of the accumulated bins.
+func (s *Series) Bins() []float64 {
+	out := make([]float64, len(s.bins))
+	copy(out, s.bins)
+	return out
+}
+
+// Bin returns the value of bin i (0 if out of range).
+func (s *Series) Bin(i int) float64 {
+	if i < 0 || i >= len(s.bins) {
+		return 0
+	}
+	return s.bins[i]
+}
+
+// NumBins returns the number of bins touched so far.
+func (s *Series) NumBins() int { return len(s.bins) }
+
+// Counter is a named monotonically increasing statistic.
+type Counter struct {
+	Name  string
+	value int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.value++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.value += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.value }
+
+// Percentiles returns the requested percentiles (0..100) of samples.
+// It sorts a copy of the input.
+func Percentiles(samples []float64, ps ...float64) []float64 {
+	if len(samples) == 0 {
+		return make([]float64, len(ps))
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		rank := p / 100 * float64(len(sorted)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if hi >= len(sorted) {
+			hi = len(sorted) - 1
+		}
+		frac := rank - float64(lo)
+		out[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package sim
+
+// Cond is a condition variable in virtual time. As with sync.Cond, waiters
+// must re-check their predicate in a loop: a Signal only schedules the
+// waiter to resume at the current virtual time, and the state may have
+// changed again by the time it runs.
+type Cond struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait blocks p until another activity calls Signal or Broadcast. The
+// reason string appears in deadlock reports.
+func (c *Cond) Wait(p *Proc, reason string) {
+	c.waiters = append(c.waiters, p)
+	p.block(reason)
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.unblock()
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.unblock()
+	}
+}
+
+// Waiters reports how many processes are blocked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Queue is a FIFO channel-like queue in virtual time. A capacity of 0
+// means unbounded.
+type Queue[T any] struct {
+	e        *Engine
+	capacity int
+	items    []T
+	nonEmpty *Cond
+	nonFull  *Cond
+	name     string
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](e *Engine, name string, capacity int) *Queue[T] {
+	return &Queue[T]{
+		e:        e,
+		capacity: capacity,
+		nonEmpty: NewCond(e),
+		nonFull:  NewCond(e),
+		name:     name,
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+func (q *Queue[T]) full() bool {
+	return q.capacity > 0 && len(q.items) >= q.capacity
+}
+
+// Put enqueues v, blocking while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.full() {
+		q.nonFull.Wait(p, "queue "+q.name+" full")
+	}
+	q.items = append(q.items, v)
+	q.nonEmpty.Signal()
+}
+
+// TryPut enqueues v without blocking; it reports false if the queue is
+// full. Safe to call from engine callbacks.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.full() {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.nonEmpty.Signal()
+	return true
+}
+
+// Get dequeues the oldest item, blocking while the queue is empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.nonEmpty.Wait(p, "queue "+q.name+" empty")
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.nonFull.Signal()
+	return v
+}
+
+// TryGet dequeues without blocking; ok reports whether an item was
+// available. Safe to call from engine callbacks.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.nonFull.Signal()
+	return v, true
+}
+
+// Resource is a counting semaphore with priority-ordered FIFO granting.
+// Higher priority values are granted first; ties go to the longer waiter.
+type Resource struct {
+	e       *Engine
+	total   int
+	inUse   int
+	waiters []resWaiter
+	name    string
+
+	// accounting
+	grants       uint64
+	waitedTotal  Time
+	waitedCount  uint64
+	peakQueueLen int
+}
+
+type resWaiter struct {
+	p     *Proc
+	prio  int
+	since Time
+	seq   uint64
+}
+
+// NewResource returns a semaphore with n units.
+func NewResource(e *Engine, name string, n int) *Resource {
+	if n <= 0 {
+		panic("sim: resource must have at least one unit")
+	}
+	return &Resource{e: e, total: n, name: name}
+}
+
+// Total returns the number of units.
+func (r *Resource) Total() int { return r.total }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of blocked acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire takes one unit, blocking until one is available. Units are
+// granted to the highest-priority, longest-waiting acquirer.
+func (r *Resource) Acquire(p *Proc, prio int) {
+	r.grants++
+	if r.inUse < r.total {
+		r.inUse++
+		return
+	}
+	start := r.e.now
+	r.e.seq++
+	r.waiters = append(r.waiters, resWaiter{p: p, prio: prio, since: start, seq: r.e.seq})
+	if len(r.waiters) > r.peakQueueLen {
+		r.peakQueueLen = len(r.waiters)
+	}
+	p.block("resource " + r.name)
+	// When we resume, the releaser has already transferred the unit to us.
+	r.waitedTotal += r.e.now - start
+	r.waitedCount++
+}
+
+// TryAcquire takes a unit only if one is free.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.total {
+		r.inUse++
+		r.grants++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit, handing it directly to the best waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of unheld resource " + r.name)
+	}
+	if len(r.waiters) == 0 {
+		r.inUse--
+		return
+	}
+	best := 0
+	for i := 1; i < len(r.waiters); i++ {
+		w, b := r.waiters[i], r.waiters[best]
+		if w.prio > b.prio || (w.prio == b.prio && w.seq < b.seq) {
+			best = i
+		}
+	}
+	p := r.waiters[best].p
+	r.waiters = append(r.waiters[:best], r.waiters[best+1:]...)
+	// The unit stays inUse and is now owned by p.
+	p.unblock()
+}
+
+// MeanWait reports the average time acquirers spent blocked.
+func (r *Resource) MeanWait() Time {
+	if r.waitedCount == 0 {
+		return 0
+	}
+	return r.waitedTotal / Time(r.waitedCount)
+}

@@ -1,0 +1,49 @@
+package sim
+
+// WaitGroup counts outstanding activities in virtual time, in the style
+// of sync.WaitGroup: fork-join workloads Add before spawning, Done when
+// each piece finishes, and Wait to block until the count reaches zero.
+type WaitGroup struct {
+	e     *Engine
+	count int
+	zero  *Cond
+}
+
+// NewWaitGroup returns an empty wait group bound to e.
+func NewWaitGroup(e *Engine) *WaitGroup {
+	return &WaitGroup{e: e, zero: NewCond(e)}
+}
+
+// Add increases the outstanding count by n (n may be negative; Done is
+// Add(-1)). Reaching zero wakes all waiters.
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: WaitGroup count went negative")
+	}
+	if wg.count == 0 {
+		wg.zero.Broadcast()
+	}
+}
+
+// Done decrements the count.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count returns the outstanding count.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait blocks p until the count is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.zero.Wait(p, "waitgroup")
+	}
+}
+
+// Go spawns fn as a process tracked by the wait group.
+func (wg *WaitGroup) Go(name string, fn func(p *Proc)) {
+	wg.Add(1)
+	wg.e.Spawn(name, func(p *Proc) {
+		defer wg.Done()
+		fn(p)
+	})
+}

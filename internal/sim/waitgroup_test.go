@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+func TestWaitGroupJoin(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e)
+	var finished int
+	for i := 1; i <= 5; i++ {
+		d := Time(i) * Millisecond
+		wg.Go("worker", func(p *Proc) {
+			p.Sleep(d)
+			finished++
+		})
+	}
+	var joinedAt Time
+	e.Spawn("joiner", func(p *Proc) {
+		wg.Wait(p)
+		joinedAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 5 {
+		t.Fatalf("finished = %d", finished)
+	}
+	if joinedAt != 5*Millisecond {
+		t.Fatalf("joined at %v, want 5ms (slowest worker)", joinedAt)
+	}
+}
+
+func TestWaitGroupImmediateWait(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e)
+	passed := false
+	e.Spawn("joiner", func(p *Proc) {
+		wg.Wait(p) // zero count: returns immediately
+		passed = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !passed {
+		t.Fatal("wait on empty group blocked")
+	}
+}
+
+func TestWaitGroupReuse(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e)
+	rounds := 0
+	e.Spawn("driver", func(p *Proc) {
+		for r := 0; r < 3; r++ {
+			for i := 0; i < 2; i++ {
+				wg.Go("w", func(wp *Proc) { wp.Sleep(Millisecond) })
+			}
+			wg.Wait(p)
+			rounds++
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 || wg.Count() != 0 {
+		t.Fatalf("rounds=%d count=%d", rounds, wg.Count())
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative count did not panic")
+		}
+	}()
+	wg := NewWaitGroup(NewEngine(1))
+	wg.Done()
+}

@@ -1,0 +1,92 @@
+package syscalls
+
+import (
+	"strings"
+
+	"genesys/internal/errno"
+)
+
+// Third wave: directory manipulation and the per-process working
+// directory ("files in /proc to query process environments" and friends
+// all assume these basics, §IV).
+const (
+	SYS_getcwd = 79
+	SYS_chdir  = 80
+	SYS_rename = 82
+	SYS_mkdir  = 83
+	SYS_rmdir  = 84
+)
+
+func init() {
+	table[SYS_getcwd] = sysGetcwd
+	table[SYS_chdir] = sysChdir
+	table[SYS_rename] = sysRename
+	table[SYS_mkdir] = sysMkdir
+	table[SYS_rmdir] = sysRmdir
+}
+
+// abs resolves path against the borrowed process's working directory.
+func (c *Ctx) abs(path string) string {
+	if strings.HasPrefix(path, "/") {
+		return path
+	}
+	cwd := c.Proc.CWD
+	if cwd == "" {
+		cwd = "/"
+	}
+	if cwd == "/" {
+		return "/" + path
+	}
+	return cwd + "/" + path
+}
+
+func sysGetcwd(c *Ctx, r *Request) {
+	cwd := c.Proc.CWD
+	if cwd == "" {
+		cwd = "/"
+	}
+	if len(r.Buf) < len(cwd) {
+		fail(r, errno.ERANGE)
+		return
+	}
+	copy(r.Buf, cwd)
+	r.Ret = int64(len(cwd))
+}
+
+func sysChdir(c *Ctx, r *Request) {
+	path := c.abs(cstr(r.Buf))
+	if _, err := c.OS.VFS.ResolveDir(path); err != nil {
+		fail(r, err)
+		return
+	}
+	c.Proc.CWD = path
+}
+
+// sysRename: Buf holds "oldpath\x00newpath".
+func sysRename(c *Ctx, r *Request) {
+	parts := strings.SplitN(string(r.Buf), "\x00", 3)
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		fail(r, errno.EINVAL)
+		return
+	}
+	if err := c.OS.VFS.Rename(c.abs(parts[0]), c.abs(cstr([]byte(parts[1])))); err != nil {
+		fail(r, err)
+	}
+}
+
+func sysMkdir(c *Ctx, r *Request) {
+	if err := c.OS.VFS.Mkdir(c.abs(cstr(r.Buf))); err != nil {
+		fail(r, err)
+	}
+}
+
+func sysRmdir(c *Ctx, r *Request) {
+	path := c.abs(cstr(r.Buf))
+	if _, err := c.OS.VFS.ResolveDir(path); err != nil {
+		fail(r, err)
+		return
+	}
+	if err := c.OS.VFS.Unlink(path); err != nil {
+		fail(r, err)
+	}
+}

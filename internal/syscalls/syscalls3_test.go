@@ -1,0 +1,142 @@
+package syscalls
+
+import (
+	"strings"
+	"testing"
+
+	"genesys/internal/errno"
+	"genesys/internal/fs"
+)
+
+func TestMkdirRmdir(t *testing.T) {
+	ev := newEnv(t)
+	mk := &Request{NR: SYS_mkdir, Buf: []byte("/tmp/sub")}
+	ev.call(t, mk)
+	if mk.Err != errno.OK {
+		t.Fatal(mk.Err)
+	}
+	// The new directory inherits tmpfs file creation.
+	op := &Request{NR: SYS_open, Args: [6]uint64{fs.O_CREAT | fs.O_WRONLY},
+		Buf: []byte("/tmp/sub/file")}
+	ev.call(t, op)
+	if op.Err != errno.OK {
+		t.Fatalf("create in mkdir'd dir: %v", op.Err)
+	}
+	// mkdir of an existing path fails.
+	mk2 := &Request{NR: SYS_mkdir, Buf: []byte("/tmp/sub")}
+	ev.call(t, mk2)
+	if mk2.Err != errno.EEXIST {
+		t.Fatalf("double mkdir = %v", mk2.Err)
+	}
+	// rmdir of a non-empty directory fails; after unlink it succeeds.
+	rm := &Request{NR: SYS_rmdir, Buf: []byte("/tmp/sub")}
+	ev.call(t, rm)
+	if rm.Err != errno.ENOTEMPTY {
+		t.Fatalf("rmdir non-empty = %v", rm.Err)
+	}
+	un := &Request{NR: SYS_unlink, Buf: []byte("/tmp/sub/file")}
+	rm2 := &Request{NR: SYS_rmdir, Buf: []byte("/tmp/sub")}
+	ev.callSeq(t, un, rm2)
+	if rm2.Err != errno.OK {
+		t.Fatalf("rmdir empty = %v", rm2.Err)
+	}
+	// rmdir of a file is ENOTDIR.
+	ev.call(t, &Request{NR: SYS_open, Args: [6]uint64{fs.O_CREAT | fs.O_WRONLY}, Buf: []byte("/tmp/f")})
+	rm3 := &Request{NR: SYS_rmdir, Buf: []byte("/tmp/f")}
+	ev.call(t, rm3)
+	if rm3.Err != errno.ENOTDIR {
+		t.Fatalf("rmdir file = %v", rm3.Err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	ev := newEnv(t)
+	op := &Request{NR: SYS_open, Args: [6]uint64{fs.O_CREAT | fs.O_RDWR}, Buf: []byte("/tmp/old")}
+	ev.call(t, op)
+	wr := &Request{NR: SYS_write, Args: [6]uint64{uint64(op.Ret), 4}, Buf: []byte("data")}
+	ev.call(t, wr)
+	rn := &Request{NR: SYS_rename, Buf: []byte("/tmp/old\x00/tmp/new")}
+	ev.call(t, rn)
+	if rn.Err != errno.OK {
+		t.Fatal(rn.Err)
+	}
+	if _, err := ev.os.VFS.Resolve("/tmp/old"); err != errno.ENOENT {
+		t.Fatalf("old still there: %v", err)
+	}
+	n, err := ev.os.VFS.Resolve("/tmp/new")
+	if err != nil || n.Size() != 4 {
+		t.Fatalf("new: %v size=%d", err, n.Size())
+	}
+	// Renaming over an existing file replaces it.
+	ev.call(t, &Request{NR: SYS_open, Args: [6]uint64{fs.O_CREAT | fs.O_WRONLY}, Buf: []byte("/tmp/other")})
+	rn2 := &Request{NR: SYS_rename, Buf: []byte("/tmp/new\x00/tmp/other")}
+	ev.call(t, rn2)
+	if rn2.Err != errno.OK {
+		t.Fatal(rn2.Err)
+	}
+	// Bad argument encodings.
+	bad := &Request{NR: SYS_rename, Buf: []byte("/tmp/x")}
+	ev.call(t, bad)
+	if bad.Err != errno.EINVAL {
+		t.Fatalf("rename without separator = %v", bad.Err)
+	}
+}
+
+func TestChdirGetcwdRelativePaths(t *testing.T) {
+	ev := newEnv(t)
+	buf := make([]byte, 64)
+	cw := &Request{NR: SYS_getcwd, Buf: buf}
+	ev.call(t, cw)
+	if string(buf[:cw.Ret]) != "/" {
+		t.Fatalf("initial cwd = %q", buf[:cw.Ret])
+	}
+	cd := &Request{NR: SYS_chdir, Buf: []byte("/tmp")}
+	ev.call(t, cd)
+	if cd.Err != errno.OK || ev.pr.CWD != "/tmp" {
+		t.Fatalf("chdir: %v cwd=%q", cd.Err, ev.pr.CWD)
+	}
+	// Relative open now lands in /tmp.
+	op := &Request{NR: SYS_open, Args: [6]uint64{fs.O_CREAT | fs.O_WRONLY}, Buf: []byte("rel.txt")}
+	ev.call(t, op)
+	if op.Err != errno.OK {
+		t.Fatal(op.Err)
+	}
+	if _, err := ev.os.VFS.Resolve("/tmp/rel.txt"); err != nil {
+		t.Fatalf("relative open missed cwd: %v", err)
+	}
+	// Relative chdir.
+	mk := &Request{NR: SYS_mkdir, Buf: []byte("deeper")}
+	cd2 := &Request{NR: SYS_chdir, Buf: []byte("deeper")}
+	ev.callSeq(t, mk, cd2)
+	if ev.pr.CWD != "/tmp/deeper" {
+		t.Fatalf("cwd = %q", ev.pr.CWD)
+	}
+	// chdir to a file fails.
+	bad := &Request{NR: SYS_chdir, Buf: []byte("/tmp/rel.txt")}
+	ev.call(t, bad)
+	if bad.Err != errno.ENOTDIR {
+		t.Fatalf("chdir to file = %v", bad.Err)
+	}
+	// getcwd into a too-small buffer.
+	tiny := &Request{NR: SYS_getcwd, Buf: make([]byte, 2)}
+	ev.call(t, tiny)
+	if tiny.Err != errno.ERANGE {
+		t.Fatalf("tiny getcwd = %v", tiny.Err)
+	}
+}
+
+func TestGetdentsRelative(t *testing.T) {
+	ev := newEnv(t)
+	ev.call(t, &Request{NR: SYS_open, Args: [6]uint64{fs.O_CREAT | fs.O_WRONLY}, Buf: []byte("/tmp/z")})
+	cd := &Request{NR: SYS_chdir, Buf: []byte("/tmp")}
+	buf := make([]byte, 64)
+	buf[0] = '.'
+	gd := &Request{NR: SYS_getdents64, Buf: buf}
+	ev.callSeq(t, cd, gd)
+	if gd.Err != errno.OK {
+		t.Fatal(gd.Err)
+	}
+	if !strings.Contains(string(buf[:gd.Ret]), "z") {
+		t.Fatalf("listing = %q", buf[:gd.Ret])
+	}
+}

@@ -1,0 +1,89 @@
+package syscalls
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"genesys/internal/errno"
+)
+
+// Fourth wave: query-style calls that are trivially generic — exactly the
+// long tail that makes up most of §IV's 79% "readily-implementable"
+// class.
+const (
+	SYS_access       = 21
+	SYS_truncate     = 76
+	SYS_gettimeofday = 96
+	SYS_sysinfo      = 99
+	SYS_getuid       = 102
+	SYS_getgid       = 104
+	SYS_geteuid      = 107
+	SYS_getegid      = 108
+)
+
+func init() {
+	table[SYS_access] = sysAccess
+	table[SYS_truncate] = sysTruncate
+	table[SYS_gettimeofday] = sysGettimeofday
+	table[SYS_sysinfo] = sysSysinfo
+	table[SYS_getuid] = sysGetuid
+	table[SYS_getgid] = sysGetuid
+	table[SYS_geteuid] = sysGetuid
+	table[SYS_getegid] = sysGetuid
+}
+
+// sysAccess: pathname in Buf; every existing node is readable and
+// writable in the simulated machine, so existence is the whole check.
+func sysAccess(c *Ctx, r *Request) {
+	if _, err := c.OS.VFS.Resolve(c.abs(cstr(r.Buf))); err != nil {
+		fail(r, err)
+	}
+}
+
+// sysTruncate: pathname in Buf, new length in Args[0].
+func sysTruncate(c *Ctx, r *Request) {
+	n, err := c.OS.VFS.Resolve(c.abs(cstr(r.Buf)))
+	if err != nil {
+		fail(r, err)
+		return
+	}
+	fn, ok := n.(interface{ Truncate(int64) error })
+	if !ok {
+		fail(r, errno.EISDIR)
+		return
+	}
+	if err := fn.Truncate(int64(r.Args[0])); err != nil {
+		fail(r, err)
+	}
+}
+
+// sysGettimeofday returns seconds and microseconds of virtual time in
+// Buf (two little-endian int64s).
+func sysGettimeofday(c *Ctx, r *Request) {
+	if len(r.Buf) < 16 {
+		fail(r, errno.EINVAL)
+		return
+	}
+	now := int64(c.P.Now())
+	binary.LittleEndian.PutUint64(r.Buf[0:], uint64(now/1e9))
+	binary.LittleEndian.PutUint64(r.Buf[8:], uint64(now%1e9/1e3))
+}
+
+// sysSysinfo writes a human-readable system summary into Buf (the
+// simulated struct sysinfo).
+func sysSysinfo(c *Ctx, r *Request) {
+	ps := c.Proc.MM.Config().PageSize
+	info := fmt.Sprintf("uptime=%ds totalram=%d freeram=%d procs=%d",
+		int64(c.P.Now()/1e9), c.OS.Pool.Total*ps, c.OS.Pool.Free()*ps, 1)
+	if len(r.Buf) < len(info) {
+		fail(r, errno.EINVAL)
+		return
+	}
+	copy(r.Buf, info)
+	r.Ret = int64(len(info))
+}
+
+// sysGetuid: the simulated machine runs a single root-like identity.
+func sysGetuid(c *Ctx, r *Request) {
+	r.Ret = 0
+}

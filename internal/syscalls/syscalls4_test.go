@@ -1,0 +1,87 @@
+package syscalls
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"genesys/internal/errno"
+	"genesys/internal/fs"
+	"genesys/internal/sim"
+)
+
+func TestAccessAndTruncate(t *testing.T) {
+	ev := newEnv(t)
+	op := &Request{NR: SYS_open, Args: [6]uint64{fs.O_CREAT | fs.O_RDWR}, Buf: []byte("/tmp/t4")}
+	ev.call(t, op)
+	wr := &Request{NR: SYS_write, Args: [6]uint64{uint64(op.Ret), 8}, Buf: []byte("12345678")}
+	ev.call(t, wr)
+
+	acc := &Request{NR: SYS_access, Buf: []byte("/tmp/t4")}
+	ev.call(t, acc)
+	if acc.Err != errno.OK {
+		t.Fatalf("access existing = %v", acc.Err)
+	}
+	miss := &Request{NR: SYS_access, Buf: []byte("/tmp/none")}
+	ev.call(t, miss)
+	if miss.Err != errno.ENOENT {
+		t.Fatalf("access missing = %v", miss.Err)
+	}
+
+	tr := &Request{NR: SYS_truncate, Args: [6]uint64{2}, Buf: []byte("/tmp/t4")}
+	ev.call(t, tr)
+	if tr.Err != errno.OK {
+		t.Fatal(tr.Err)
+	}
+	n, _ := ev.os.VFS.Resolve("/tmp/t4")
+	if n.Size() != 2 {
+		t.Fatalf("size after truncate = %d", n.Size())
+	}
+	trd := &Request{NR: SYS_truncate, Args: [6]uint64{0}, Buf: []byte("/tmp")}
+	ev.call(t, trd)
+	if trd.Err != errno.EISDIR {
+		t.Fatalf("truncate dir = %v", trd.Err)
+	}
+}
+
+func TestGettimeofdayAndSysinfo(t *testing.T) {
+	ev := newEnv(t)
+	var sec, usec int64
+	ev.e.Spawn("caller", func(p *sim.Proc) {
+		p.Sleep(3*sim.Second + 250*sim.Millisecond)
+		c := &Ctx{P: p, OS: ev.os, Proc: ev.pr}
+		buf := make([]byte, 16)
+		r := &Request{NR: SYS_gettimeofday, Buf: buf}
+		Dispatch(c, r)
+		sec = int64(binary.LittleEndian.Uint64(buf[0:]))
+		usec = int64(binary.LittleEndian.Uint64(buf[8:]))
+	})
+	if err := ev.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sec != 3 || usec != 250000 {
+		t.Fatalf("gettimeofday = %d.%06d", sec, usec)
+	}
+	si := &Request{NR: SYS_sysinfo, Buf: make([]byte, 256)}
+	ev.call(t, si)
+	out := string(si.Buf[:si.Ret])
+	if !strings.Contains(out, "totalram=") || !strings.Contains(out, "freeram=") {
+		t.Fatalf("sysinfo = %q", out)
+	}
+	short := &Request{NR: SYS_sysinfo, Buf: make([]byte, 4)}
+	ev.call(t, short)
+	if short.Err != errno.EINVAL {
+		t.Fatalf("short sysinfo = %v", short.Err)
+	}
+}
+
+func TestUIDFamily(t *testing.T) {
+	ev := newEnv(t)
+	for _, nr := range []int{SYS_getuid, SYS_getgid, SYS_geteuid, SYS_getegid} {
+		r := &Request{NR: nr}
+		ev.call(t, r)
+		if r.Err != errno.OK || r.Ret != 0 {
+			t.Fatalf("uid syscall %d = %+v", nr, r)
+		}
+	}
+}

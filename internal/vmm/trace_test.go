@@ -1,0 +1,53 @@
+package vmm
+
+import (
+	"strings"
+	"testing"
+
+	"genesys/internal/sim"
+)
+
+func TestRSSTraceFollowsFootprint(t *testing.T) {
+	e, as := newAS(1 << 20)
+	e.Spawn("app", func(p *sim.Proc) {
+		addr, _ := as.Mmap(64 << 20)
+		as.Touch(p, addr, 32<<20, false) // 32 MiB resident
+		p.Sleep(120 * sim.Millisecond)   // two trace bins at 32 MiB
+		as.Madvise(p, addr, 32<<20, MADV_DONTNEED)
+		p.Sleep(120 * sim.Millisecond)
+		as.Touch(p, addr, 8<<20, false) // back up to 8 MiB
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bins, width := as.RSSTrace()
+	if width != 50*sim.Millisecond {
+		t.Fatalf("bin width = %v", width)
+	}
+	if len(bins) < 4 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if bins[0] != float64(32<<20) {
+		t.Fatalf("bin0 = %v, want 32MiB peak", bins[0])
+	}
+	last := bins[len(bins)-1]
+	if last != float64(8<<20) {
+		t.Fatalf("final bin = %v, want 8MiB", last)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	e, as := newAS(1024)
+	e.Spawn("app", func(p *sim.Proc) {
+		addr, _ := as.Mmap(4 << 20)
+		as.Touch(p, addr, 2<<20, false)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := as.String()
+	if !strings.Contains(s, "1 vmas") || !strings.Contains(s, "mapped 4 MiB") ||
+		!strings.Contains(s, "rss 2 MiB") {
+		t.Fatalf("String() = %q", s)
+	}
+}

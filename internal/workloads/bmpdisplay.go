@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"genesys/internal/core"
+	"genesys/internal/fs"
+	"genesys/internal/gpu"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+)
+
+// BMPDisplayConfig parameterizes the §VIII-E device-control case study:
+// the GPU opens /dev/fb0, queries and sets framebuffer properties over
+// ioctl, mmaps the framebuffer, and fills it with a raster image.
+type BMPDisplayConfig struct {
+	XRes, YRes uint32
+	// ComputePerRowGroup is GPU time spent rasterizing each row group.
+	ComputePerRowGroup sim.Time
+}
+
+// DefaultBMPDisplayConfig draws a 640×480×32 image.
+func DefaultBMPDisplayConfig() BMPDisplayConfig {
+	return BMPDisplayConfig{XRes: 640, YRes: 480, ComputePerRowGroup: 20 * sim.Microsecond}
+}
+
+// BMPDisplayResult reports the run.
+type BMPDisplayResult struct {
+	Runtime       sim.Time
+	InfoBefore    fs.VScreenInfo
+	InfoAfter     fs.VScreenInfo
+	PixelsWritten int64
+	// Validated reports whether every framebuffer pixel matches the
+	// raster function.
+	Validated bool
+}
+
+// RasterPixel is the gradient raster copied to the screen (stands in for
+// the paper's mmap'ed BMP source).
+func RasterPixel(x, y uint32) [4]byte {
+	return [4]byte{byte(x), byte(y), byte(x ^ y), 0xff}
+}
+
+// RunBMPDisplay executes the workload: kernel-granularity invocation for
+// the device setup calls (a single configuration action for the whole
+// grid — §VIII-E), then all work-groups fill the mapped pixels.
+func RunBMPDisplay(m *platform.Machine, cfg BMPDisplayConfig) (BMPDisplayResult, error) {
+	pr := m.NewProcess("bmp-display")
+	g := m.Genesys
+	var res BMPDisplayResult
+
+	m.E.Spawn("host", func(p *sim.Proc) {
+		start := p.Now()
+		type fbState struct {
+			fd   uint64
+			addr uint64
+		}
+		state := &fbState{}
+
+		// Kernel 1: device setup at kernel granularity.
+		setup := m.GPU.Launch(p, gpu.Kernel{
+			Name: "fb-setup", WorkGroups: 1, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				opts := core.Options{Blocking: true, Wait: core.WaitPoll, Ordering: core.Relaxed}
+				r, inv, _ := g.InvokeKernel(w, syscalls.Request{
+					NR:   syscalls.SYS_open,
+					Args: [6]uint64{fs.O_RDWR},
+					Buf:  []byte("/dev/fb0"),
+				}, opts)
+				if !inv {
+					return
+				}
+				state.fd = uint64(r.Ret)
+				// Query current properties.
+				arg := make([]byte, 12)
+				g.InvokeKernel(w, syscalls.Request{
+					NR:   syscalls.SYS_ioctl,
+					Args: [6]uint64{state.fd, fs.FBIOGET_VSCREENINFO},
+					Buf:  arg,
+				}, opts)
+				res.InfoBefore, _ = fs.DecodeVScreenInfo(arg)
+				// Set the desired mode.
+				g.InvokeKernel(w, syscalls.Request{
+					NR:   syscalls.SYS_ioctl,
+					Args: [6]uint64{state.fd, fs.FBIOPUT_VSCREENINFO},
+					Buf:  fs.VScreenInfo{XRes: cfg.XRes, YRes: cfg.YRes, BPP: 32}.Encode(),
+				}, opts)
+				g.InvokeKernel(w, syscalls.Request{
+					NR:   syscalls.SYS_ioctl,
+					Args: [6]uint64{state.fd, fs.FBIOGET_VSCREENINFO},
+					Buf:  arg,
+				}, opts)
+				res.InfoAfter, _ = fs.DecodeVScreenInfo(arg)
+				// mmap the framebuffer.
+				r, _, _ = g.InvokeKernel(w, syscalls.Request{
+					NR:   syscalls.SYS_mmap,
+					Args: [6]uint64{0, 0, 0, 0, state.fd, 0},
+				}, opts)
+				state.addr = uint64(r.Ret)
+			},
+		})
+		setup.Wait(p)
+
+		vma, err := pr.MM.FindVMA(state.addr)
+		if err != nil || vma.Device == nil {
+			return
+		}
+		pixels := vma.Device
+		rowBytes := int(cfg.XRes) * 4
+		rowsPerWG := 8
+		wgs := int(cfg.YRes) / rowsPerWG
+
+		// Kernel 2: rasterize into the mapped device memory.
+		draw := m.GPU.Launch(p, gpu.Kernel{
+			Name: "fb-fill", WorkGroups: wgs, WGSize: 256,
+			Fn: func(w *gpu.Wavefront) {
+				w.ComputeTime(cfg.ComputePerRowGroup)
+				if !w.IsLeader() {
+					return
+				}
+				for r := 0; r < rowsPerWG; r++ {
+					y := uint32(w.WG.ID*rowsPerWG + r)
+					row := pixels[int(y)*rowBytes : (int(y)+1)*rowBytes]
+					for x := uint32(0); x < cfg.XRes; x++ {
+						px := RasterPixel(x, y)
+						copy(row[x*4:], px[:])
+					}
+					res.PixelsWritten += int64(cfg.XRes)
+				}
+			},
+		})
+		draw.Wait(p)
+		// Release the mapping and close the device from the host side.
+		ctx := &syscalls.Ctx{P: p, OS: m.OS, Proc: pr}
+		syscalls.Dispatch(ctx, &syscalls.Request{
+			NR: syscalls.SYS_munmap, Args: [6]uint64{state.addr, int64ToU64(vma.Length)}})
+		syscalls.Dispatch(ctx, &syscalls.Request{
+			NR: syscalls.SYS_close, Args: [6]uint64{state.fd}})
+		res.Runtime = p.Now() - start
+	})
+	if err := m.Run(); err != nil {
+		return res, err
+	}
+
+	// Validate the whole frame.
+	res.Validated = res.PixelsWritten == int64(cfg.XRes)*int64(cfg.YRes)
+	pix := m.FB.Pixels()
+	for y := uint32(0); y < cfg.YRes && res.Validated; y++ {
+		for x := uint32(0); x < cfg.XRes; x++ {
+			want := RasterPixel(x, y)
+			off := (int(y)*int(cfg.XRes) + int(x)) * 4
+			if pix[off] != want[0] || pix[off+1] != want[1] ||
+				pix[off+2] != want[2] || pix[off+3] != want[3] {
+				res.Validated = false
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+func int64ToU64(v int64) uint64 { return uint64(v) }

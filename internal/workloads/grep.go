@@ -1,0 +1,357 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"genesys/internal/core"
+	"genesys/internal/cpu"
+	"genesys/internal/fs"
+	"genesys/internal/gpu"
+	"genesys/internal/oskern"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+)
+
+// GrepVariant selects a Figure 13a configuration.
+type GrepVariant int
+
+const (
+	GrepCPU GrepVariant = iota
+	GrepOpenMP
+	GrepGPUWorkGroup
+	GrepGPUWorkItemPoll
+	GrepGPUWorkItemHalt
+)
+
+func (v GrepVariant) String() string {
+	switch v {
+	case GrepCPU:
+		return "CPU"
+	case GrepOpenMP:
+		return "OpenMP"
+	case GrepGPUWorkGroup:
+		return "GENESYS-WG"
+	case GrepGPUWorkItemPoll:
+		return "GENESYS-WI-polling"
+	case GrepGPUWorkItemHalt:
+		return "GENESYS-WI-halt-resume"
+	}
+	return "unknown"
+}
+
+// GrepConfig parameterizes the §VIII-C grep -F -l case study: given a
+// word list and a file set, report (print to the terminal) every file
+// containing any of the words, stopping each file's scan at its first
+// match.
+type GrepConfig struct {
+	Variant   GrepVariant
+	Files     int
+	FileBytes int
+	Words     int
+	// CPUScanBytesPerNS is one CPU core's multi-pattern scan rate.
+	CPUScanBytesPerNS float64
+	// GPUScanBytesPerNS is one work-group's aggregate scan rate.
+	GPUScanBytesPerNS float64
+	// CPUThreads is the OpenMP worker count.
+	CPUThreads int
+	Seed       int64
+}
+
+// DefaultGrepConfig returns the evaluation setup: 64 files of 256 KiB,
+// 16 search words, half the files matching.
+func DefaultGrepConfig(v GrepVariant) GrepConfig {
+	return GrepConfig{
+		Variant:           v,
+		Files:             64,
+		FileBytes:         256 << 10,
+		Words:             16,
+		CPUScanBytesPerNS: 0.8,
+		GPUScanBytesPerNS: 8.0,
+		CPUThreads:        4,
+		Seed:              42,
+	}
+}
+
+// GrepResult reports one run.
+type GrepResult struct {
+	Runtime sim.Time
+	// Found is the sorted list of matching file names, as printed to the
+	// terminal.
+	Found []string
+	// Expected is the reference answer computed outside the simulation.
+	Expected []string
+}
+
+// Correct reports whether the simulated grep found exactly the right
+// files.
+func (r GrepResult) Correct() bool {
+	if len(r.Found) != len(r.Expected) {
+		return false
+	}
+	for i := range r.Found {
+		if r.Found[i] != r.Expected[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// grepCorpus builds the file set: lowercase noise with search words
+// planted into half the files at random offsets.
+func grepCorpus(cfg GrepConfig) (words []string, files map[string][]byte, expected []string) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	words = make([]string, cfg.Words)
+	for i := range words {
+		words[i] = fmt.Sprintf("needle%02dxq", i)
+	}
+	files = make(map[string][]byte)
+	for f := 0; f < cfg.Files; f++ {
+		name := fmt.Sprintf("file%03d.txt", f)
+		data := make([]byte, cfg.FileBytes)
+		for i := range data {
+			data[i] = byte('a' + rng.Intn(20))
+		}
+		if f%2 == 0 {
+			w := words[rng.Intn(len(words))]
+			pos := rng.Intn(cfg.FileBytes - len(w))
+			copy(data[pos:], w)
+			expected = append(expected, name)
+		}
+		files[name] = data
+	}
+	sort.Strings(expected)
+	return words, files, expected
+}
+
+// scanChunk reports the offset of the first occurrence of any word in
+// chunk, or -1.
+func scanChunk(chunk []byte, words []string) int {
+	best := -1
+	s := string(chunk)
+	for _, w := range words {
+		if i := strings.Index(s, w); i >= 0 && (best < 0 || i < best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// RunGrep executes one grep variant.
+func RunGrep(m *platform.Machine, cfg GrepConfig) (GrepResult, error) {
+	words, files, expected := grepCorpus(cfg)
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := m.WriteFile("/tmp/"+n, files[n]); err != nil {
+			return GrepResult{}, err
+		}
+	}
+	pr := m.NewProcess("grep")
+	res := GrepResult{Expected: expected}
+
+	var runtime sim.Time
+	switch cfg.Variant {
+	case GrepCPU, GrepOpenMP:
+		runtime = runGrepCPU(m, pr, cfg, words, names)
+	default:
+		runtime = runGrepGPU(m, pr, cfg, words, names, files)
+	}
+	res.Runtime = runtime
+	res.Found = m.OS.Console.Lines()
+	sort.Strings(res.Found)
+	return res, nil
+}
+
+// runGrepCPU runs the serial or OpenMP-parallel host implementation.
+func runGrepCPU(m *platform.Machine, pr *oskern.Process, cfg GrepConfig,
+	words, names []string) sim.Time {
+	threads := 1
+	if cfg.Variant == GrepOpenMP {
+		threads = cfg.CPUThreads
+	}
+	var runtime sim.Time
+	m.E.Spawn("host", func(p *sim.Proc) {
+		start := p.Now()
+		next := 0
+		done := sim.NewCond(m.E)
+		active := threads
+		for t := 0; t < threads; t++ {
+			pr.Spawn(fmt.Sprintf("omp%d", t), func(tp *sim.Proc) {
+				io := &fs.IOCtx{P: tp, CPU: m.CPU, Prio: cpu.PrioNormal}
+				buf := make([]byte, 64<<10)
+				for {
+					if next >= len(names) {
+						break
+					}
+					name := names[next]
+					next++
+					f, err := m.VFS.Open("/tmp/"+name, fs.O_RDONLY)
+					if err != nil {
+						continue
+					}
+					carry := 0
+					for {
+						n, _ := f.Read(io, buf[carry:])
+						if n == 0 {
+							break
+						}
+						chunk := buf[:carry+n]
+						// Multi-pattern scan cost on this core.
+						m.CPU.Exec(tp, sim.Time(float64(len(chunk))/cfg.CPUScanBytesPerNS), cpu.PrioNormal)
+						if scanChunk(chunk, words) >= 0 {
+							line := name + "\n"
+							stdout, _ := pr.FDs.Get(1)
+							stdout.Write(io, []byte(line))
+							break // grep -l: first match suffices
+						}
+						// Keep an overlap window for cross-chunk matches.
+						carry = copyTail(buf, chunk, 16)
+					}
+				}
+				active--
+				if active == 0 {
+					done.Broadcast()
+				}
+			})
+		}
+		for active > 0 {
+			done.Wait(p, "grep threads")
+		}
+		runtime = p.Now() - start
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	return runtime
+}
+
+// copyTail moves the last keep bytes of chunk to the front of buf and
+// returns the new carry length.
+func copyTail(buf, chunk []byte, keep int) int {
+	if len(chunk) < keep {
+		keep = len(chunk)
+	}
+	copy(buf, chunk[len(chunk)-keep:])
+	return keep
+}
+
+// runGrepGPU runs the GENESYS implementations: one work-group per file;
+// the group preads chunks and scans them in parallel; on the first match
+// the finding work-item prints the file name — at work-group granularity
+// or directly at work-item granularity with the configured wait mode
+// (the paper's WG / WI-polling / WI-halt-resume variants).
+func runGrepGPU(m *platform.Machine, pr *oskern.Process, cfg GrepConfig,
+	words, names []string, files map[string][]byte) sim.Time {
+	g := m.Genesys
+	var runtime sim.Time
+	m.E.Spawn("host", func(p *sim.Proc) {
+		start := p.Now()
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name:       "gpu-grep",
+			WorkGroups: len(names),
+			WGSize:     256,
+			Fn: func(w *gpu.Wavefront) {
+				const chunkSize = 64 << 10
+				name := names[w.WG.ID]
+				sh := w.WG.Shared
+				if w.IsLeader() {
+					sh["buf"] = make([]byte, chunkSize)
+				}
+				// Leader opens the file; the producer-relaxed barrier
+				// (Bar2) publishes the descriptor to the group.
+				openOpts := core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Relaxed, Kind: core.Producer}
+				if r, inv := g.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_open,
+					Args: [6]uint64{fs.O_RDONLY},
+					Buf:  []byte("/tmp/" + name),
+				}, openOpts); inv {
+					sh["fd"] = uint64(r.Ret)
+				}
+				fd := sh["fd"].(uint64)
+				buf := sh["buf"].([]byte)
+
+				matched := false
+				for off := int64(0); off < int64(cfg.FileBytes) && !matched; off += chunkSize {
+					if r, inv := g.InvokeWG(w, syscalls.Request{
+						NR:   syscalls.SYS_pread64,
+						Args: [6]uint64{fd, chunkSize, uint64(off)},
+						Buf:  buf,
+					}, openOpts); inv {
+						sh["n"] = r.Ret
+					}
+					n := sh["n"].(int64)
+					if n <= 0 {
+						break
+					}
+					// Parallel scan: the work-group covers the chunk
+					// cooperatively; the leader publishes the result at
+					// the reduction barrier.
+					w.ComputeTime(sim.Time(float64(n) / cfg.GPUScanBytesPerNS))
+					if w.IsLeader() {
+						sh["pos"] = scanChunk(buf[:n], words)
+					}
+					w.Barrier()
+					pos := sh["pos"].(int)
+					if pos < 0 {
+						continue
+					}
+					matched = true
+					line := []byte(name + "\n")
+					switch cfg.Variant {
+					case GrepGPUWorkGroup:
+						g.InvokeWG(w, syscalls.Request{
+							NR:   syscalls.SYS_write,
+							Args: [6]uint64{1, uint64(len(line))},
+							Buf:  line,
+						}, core.Options{Blocking: true, Wait: core.WaitPoll,
+							Ordering: core.Relaxed, Kind: core.Consumer})
+					default:
+						// Work-item invocation: the finding work-item
+						// writes immediately, with no group barrier
+						// (grep -l needs nothing further from this file).
+						finderWI := pos % w.WG.Run.WGSize
+						if w.ID == finderWI/64 {
+							wait := core.WaitPoll
+							if cfg.Variant == GrepGPUWorkItemHalt {
+								wait = core.WaitHaltResume
+							}
+							g.InvokeEach(w, func(lane int) *syscalls.Request {
+								if lane != finderWI%64 {
+									return nil
+								}
+								return &syscalls.Request{
+									NR:   syscalls.SYS_write,
+									Args: [6]uint64{1, uint64(len(line))},
+									Buf:  line,
+								}
+							}, core.Options{Blocking: true, Wait: wait})
+						}
+					}
+				}
+				// Leader closes the file.
+				if w.IsLeader() {
+					g.Invoke(w, syscalls.Request{
+						NR: syscalls.SYS_close, Args: [6]uint64{fd},
+					}, core.Options{Blocking: true, Wait: core.WaitPoll})
+				}
+			},
+		})
+		k.Wait(p)
+		g.Drain(p)
+		runtime = p.Now() - start
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	_ = files
+	_ = pr
+	return runtime
+}

@@ -1,0 +1,376 @@
+// Package workloads implements every application and microbenchmark of
+// the paper's evaluation (§VII and §VIII), plus the CPU and GPU baselines
+// they are compared against. Each workload computes real results
+// (verified by tests) while its timing flows through the simulated
+// machine.
+package workloads
+
+import (
+	"fmt"
+
+	"genesys/internal/core"
+	"genesys/internal/fs"
+	"genesys/internal/gpu"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+)
+
+// Granularity selects the system call invocation granularity (§V-A).
+type Granularity int
+
+const (
+	GranWorkItem Granularity = iota
+	GranWorkGroup
+	GranKernel
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case GranWorkItem:
+		return "work-item"
+	case GranWorkGroup:
+		return "work-group"
+	case GranKernel:
+		return "kernel"
+	}
+	return "unknown"
+}
+
+// fillPattern writes a deterministic byte pattern used for read
+// validation.
+func fillPattern(b []byte, seed byte) {
+	for i := range b {
+		b[i] = byte(i)*31 + seed
+	}
+}
+
+func patternByte(i int64, seed byte) byte { return byte(i)*31 + seed }
+
+// PreadConfig parameterizes the Figure 7 / Figure 10 microbenchmark:
+// GPU work-items cooperatively pread a tmpfs file.
+type PreadConfig struct {
+	FileSize    int64
+	ChunkPerWI  int64 // bytes of file each work-item covers
+	WGSize      int
+	Granularity Granularity
+	Wait        core.WaitMode
+}
+
+// PreadResult reports one run.
+type PreadResult struct {
+	ReadTime  sim.Time
+	Bytes     int64
+	Syscalls  int64
+	Validated bool
+}
+
+// LatencyPerByte returns ns per byte read (Figure 10's y-axis).
+func (r PreadResult) LatencyPerByte() float64 {
+	if r.Bytes == 0 {
+		return 0
+	}
+	return float64(r.ReadTime) / float64(r.Bytes)
+}
+
+// RunPread executes the pread microbenchmark on a fresh machine.
+func RunPread(m *platform.Machine, cfg PreadConfig) (PreadResult, error) {
+	if cfg.ChunkPerWI <= 0 {
+		cfg.ChunkPerWI = 64 << 10
+	}
+	if cfg.WGSize <= 0 {
+		cfg.WGSize = 64
+	}
+	if cfg.FileSize%cfg.ChunkPerWI != 0 {
+		return PreadResult{}, fmt.Errorf("file size %d not divisible by chunk %d",
+			cfg.FileSize, cfg.ChunkPerWI)
+	}
+	workItems := int(cfg.FileSize / cfg.ChunkPerWI)
+	if workItems%cfg.WGSize != 0 {
+		return PreadResult{}, fmt.Errorf("%d work-items not divisible by WG size %d",
+			workItems, cfg.WGSize)
+	}
+
+	pr := m.NewProcess("pread-bench")
+	content := make([]byte, cfg.FileSize)
+	fillPattern(content, 7)
+	if err := m.WriteFile("/tmp/input", content); err != nil {
+		return PreadResult{}, err
+	}
+	f, err := m.VFS.Open("/tmp/input", fs.O_RDONLY)
+	if err != nil {
+		return PreadResult{}, err
+	}
+	fd, err := pr.FDs.Install(f)
+	if err != nil {
+		return PreadResult{}, err
+	}
+
+	g := m.Genesys
+	validated := true
+	check := func(buf []byte, off int64) {
+		if len(buf) == 0 ||
+			buf[0] != patternByte(off, 7) ||
+			buf[len(buf)-1] != patternByte(off+int64(len(buf))-1, 7) {
+			validated = false
+		}
+	}
+
+	var res PreadResult
+	m.E.Spawn("host", func(p *sim.Proc) {
+		wgBytes := cfg.ChunkPerWI * int64(cfg.WGSize)
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name:       "pread-bench",
+			WorkGroups: workItems / cfg.WGSize,
+			WGSize:     cfg.WGSize,
+			Fn: func(w *gpu.Wavefront) {
+				switch cfg.Granularity {
+				case GranWorkItem:
+					bufs := make([][]byte, w.Lanes)
+					g.InvokeEach(w, func(lane int) *syscalls.Request {
+						off := int64(w.GlobalWorkItemID(lane)) * cfg.ChunkPerWI
+						bufs[lane] = make([]byte, cfg.ChunkPerWI)
+						return &syscalls.Request{
+							NR:   syscalls.SYS_pread64,
+							Args: [6]uint64{uint64(fd), uint64(cfg.ChunkPerWI), uint64(off)},
+							Buf:  bufs[lane],
+						}
+					}, core.Options{Blocking: true, Wait: cfg.Wait})
+					for lane := 0; lane < w.Lanes; lane++ {
+						check(bufs[lane], int64(w.GlobalWorkItemID(lane))*cfg.ChunkPerWI)
+					}
+				case GranWorkGroup:
+					off := int64(w.WG.ID) * wgBytes
+					buf := make([]byte, wgBytes)
+					r, invoker := g.InvokeWG(w, syscalls.Request{
+						NR:   syscalls.SYS_pread64,
+						Args: [6]uint64{uint64(fd), uint64(wgBytes), uint64(off)},
+						Buf:  buf,
+					}, core.Options{Blocking: true, Wait: cfg.Wait,
+						Ordering: core.Relaxed, Kind: core.Producer})
+					if invoker {
+						if r.Ret != int64(wgBytes) {
+							validated = false
+						}
+						check(buf, off)
+					}
+				case GranKernel:
+					buf := w.WG.Run.Args.([]byte)
+					r, invoker, err := g.InvokeKernel(w, syscalls.Request{
+						NR:   syscalls.SYS_pread64,
+						Args: [6]uint64{uint64(fd), uint64(cfg.FileSize), 0},
+						Buf:  buf,
+					}, core.Options{Blocking: true, Wait: cfg.Wait,
+						Ordering: core.Relaxed, Kind: core.Producer})
+					if err != nil {
+						validated = false
+					}
+					if invoker {
+						if r.Ret != cfg.FileSize {
+							validated = false
+						}
+						check(buf, 0)
+					}
+				}
+			},
+			Args: make([]byte, cfg.FileSize), // kernel-granularity buffer
+		})
+		k.Wait(p)
+		g.Drain(p)
+		res.ReadTime = p.Now() - k.LaunchedAt
+	})
+	if err := m.Run(); err != nil {
+		return PreadResult{}, err
+	}
+	res.Bytes = cfg.FileSize
+	res.Syscalls = g.Invocations.Value()
+	res.Validated = validated
+	return res, nil
+}
+
+// PermuteConfig parameterizes the Figure 8 microbenchmark: work-groups of
+// 1024 work-items permute 8 KiB blocks (DES-style) and pwrite the results,
+// under each blocking × ordering combination.
+type PermuteConfig struct {
+	Blocks         int
+	BlockSize      int
+	Iterations     int
+	WGSize         int
+	Blocking       bool
+	Ordering       core.Ordering
+	Wait           core.WaitMode
+	ComputePerIter sim.Time // per-wavefront compute per permutation round
+}
+
+// PermuteResult reports one run.
+type PermuteResult struct {
+	TotalTime      sim.Time
+	PerPermutation sim.Time
+	Validated      bool
+}
+
+// permuteBlock applies one round of the fixed block permutation.
+func permuteBlock(b []byte) {
+	n := len(b)
+	tmp := make([]byte, n)
+	for i := 0; i < n; i++ {
+		tmp[(i*257+31)%n] = b[i]
+	}
+	copy(b, tmp)
+}
+
+// RunPermute executes the blocking/ordering microbenchmark.
+func RunPermute(m *platform.Machine, cfg PermuteConfig) (PermuteResult, error) {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 8 << 10
+	}
+	if cfg.WGSize <= 0 {
+		cfg.WGSize = 1024
+	}
+	if cfg.ComputePerIter <= 0 {
+		cfg.ComputePerIter = 3 * sim.Microsecond
+	}
+	pr := m.NewProcess("permute")
+	f, err := m.VFS.Open("/tmp/permuted", fs.O_CREAT|fs.O_WRONLY)
+	if err != nil {
+		return PermuteResult{}, err
+	}
+	fd, err := pr.FDs.Install(f)
+	if err != nil {
+		return PermuteResult{}, err
+	}
+
+	// Input blocks preloaded with deterministic pseudo-random values.
+	input := make([][]byte, cfg.Blocks)
+	for i := range input {
+		input[i] = make([]byte, cfg.BlockSize)
+		fillPattern(input[i], byte(i))
+	}
+
+	g := m.Genesys
+	var res PermuteResult
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name:       "permute",
+			WorkGroups: cfg.Blocks,
+			WGSize:     cfg.WGSize,
+			Fn: func(w *gpu.Wavefront) {
+				// Each wavefront contributes its share of every round's
+				// permutation work; the leader applies the functional
+				// permutation once per round.
+				for it := 0; it < cfg.Iterations; it++ {
+					w.ComputeTime(cfg.ComputePerIter)
+					if w.IsLeader() {
+						permuteBlock(input[w.WG.ID])
+					}
+					w.Barrier()
+				}
+				g.InvokeWG(w, syscalls.Request{
+					NR: syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fd), uint64(cfg.BlockSize),
+						uint64(w.WG.ID * cfg.BlockSize)},
+					Buf: input[w.WG.ID],
+				}, core.Options{Blocking: cfg.Blocking, Wait: cfg.Wait,
+					Ordering: cfg.Ordering, Kind: core.Consumer})
+			},
+		})
+		k.Wait(p)
+		g.Drain(p)
+		res.TotalTime = p.Now() - k.LaunchedAt
+	})
+	if err := m.Run(); err != nil {
+		return PermuteResult{}, err
+	}
+	res.PerPermutation = res.TotalTime / sim.Time(cfg.Blocks*maxInt(cfg.Iterations, 1))
+	// Validate against a reference permutation of block 0.
+	ref := make([]byte, cfg.BlockSize)
+	fillPattern(ref, 0)
+	for it := 0; it < cfg.Iterations; it++ {
+		permuteBlock(ref)
+	}
+	out, err := m.ReadFile("/tmp/permuted")
+	if err != nil {
+		return PermuteResult{}, err
+	}
+	res.Validated = len(out) == cfg.Blocks*cfg.BlockSize && bytesEqual(out[:cfg.BlockSize], ref)
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PollProbeConfig parameterizes the Figure 9 experiment: a fixed
+// population of GPU wavefronts polls PolledLines distinct cache lines
+// while a CPU probe measures its own memory access throughput.
+type PollProbeConfig struct {
+	PolledLines int
+	PollerWaves int      // concurrently polling wavefronts
+	Duration    sim.Time // measurement window
+}
+
+// PollProbeResult reports the probe's achieved throughput.
+type PollProbeResult struct {
+	CPUAccessesPerSec float64
+	GPUL2MissRate     float64
+}
+
+// RunPollProbe executes the polling-contention experiment.
+func RunPollProbe(m *platform.Machine, cfg PollProbeConfig) (PollProbeResult, error) {
+	if cfg.PollerWaves <= 0 {
+		cfg.PollerWaves = 256
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * sim.Millisecond
+	}
+	m.NewProcess("poll-probe")
+	m.Mem.AddPolledLines(cfg.PolledLines)
+	deadline := cfg.Duration
+
+	m.E.Spawn("gpu-pollers", func(p *sim.Proc) {
+		m.GPU.Launch(p, gpu.Kernel{
+			Name:       "pollers",
+			WorkGroups: cfg.PollerWaves,
+			WGSize:     64,
+			Fn: func(w *gpu.Wavefront) {
+				for w.P.Now() < deadline {
+					m.Mem.PollLoad(w.P)
+				}
+			},
+		})
+	})
+	var accesses int64
+	m.E.Spawn("cpu-probe", func(p *sim.Proc) {
+		for p.Now() < deadline {
+			m.Mem.CPUAccess(p)
+			accesses++
+		}
+	})
+	if err := m.Run(); err != nil {
+		return PollProbeResult{}, err
+	}
+	total := m.Mem.L2Hits.Value() + m.Mem.L2Misses.Value()
+	missRate := 0.0
+	if total > 0 {
+		missRate = float64(m.Mem.L2Misses.Value()) / float64(total)
+	}
+	return PollProbeResult{
+		CPUAccessesPerSec: float64(accesses) / deadline.Seconds(),
+		GPUL2MissRate:     missRate,
+	}, nil
+}

@@ -1,0 +1,210 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"genesys/internal/core"
+	"genesys/internal/gpu"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+	"genesys/internal/vmm"
+)
+
+// MiniAMRConfig parameterizes the §VIII-A memory-management case study:
+// an adaptive-mesh-refinement stencil whose per-step working set slides
+// across a dataset slightly larger than physical memory. With
+// WatermarkBytes == 0 the GPU never returns memory (the paper's baseline,
+// which dies to the GPU watchdog); otherwise GPU work-groups use
+// getrusage to watch the RSS and madvise(MADV_DONTNEED) to release the
+// least-recently-used regions whenever it exceeds the watermark.
+type MiniAMRConfig struct {
+	Regions      int
+	RegionBytes  int64
+	Steps        int
+	ActiveWindow int // regions touched per step (sliding)
+	// TailTouches work-groups per step revisit recently refined regions
+	// (AMR temporal locality): a region touched up to TailReach steps ago
+	// may be needed again. Aggressive madvise watermarks discard these
+	// and pay refaults — the memory/performance trade-off of Figure 11.
+	TailTouches    int
+	TailReach      int
+	WatermarkBytes int64 // 0 = no madvise (baseline)
+	ComputePerStep sim.Time
+}
+
+// DefaultMiniAMRConfig scales the paper's 4.1 GiB dataset down 16× (so a
+// 256 MiB physical limit plays the role of the paper's 4 GiB cap) while
+// preserving all ratios.
+func DefaultMiniAMRConfig() MiniAMRConfig {
+	return MiniAMRConfig{
+		Regions:        41,
+		RegionBytes:    100 << 16, // 6.4 MiB → dataset ≈ 262 MiB
+		Steps:          120,
+		ActiveWindow:   8,
+		TailTouches:    2,
+		TailReach:      36,
+		WatermarkBytes: 0,
+		ComputePerStep: 2 * sim.Millisecond,
+	}
+}
+
+// MiniAMRPhysBytes is the physical-memory cap matching the default
+// config (the scaled-down "4 GB hard limit" of Figure 11).
+const MiniAMRPhysBytes = 256 << 20
+
+// MiniAMRResult reports one run.
+type MiniAMRResult struct {
+	Completed   bool // false = GPU watchdog killed the run (baseline)
+	FailedStep  int
+	Runtime     sim.Time
+	PeakRSS     int64
+	FinalUsage  vmm.Rusage
+	RSSTrace    []float64
+	RSSTraceBin sim.Time
+	Madvises    int64
+}
+
+// RunMiniAMR executes miniAMR on a machine whose physical pool should be
+// smaller than Regions×RegionBytes for the paper's scenario.
+func RunMiniAMR(m *platform.Machine, cfg MiniAMRConfig) (MiniAMRResult, error) {
+	pr := m.NewProcess("miniamr")
+	g := m.Genesys
+
+	var res MiniAMRResult
+	res.Completed = true
+
+	m.E.Spawn("host", func(p *sim.Proc) {
+		start := p.Now()
+		// mmap the whole dataset once.
+		req := syscalls.Request{NR: syscalls.SYS_mmap,
+			Args: [6]uint64{0, uint64(int64(cfg.Regions) * cfg.RegionBytes), 0, 0, ^uint64(0), 0}}
+		syscalls.Dispatch(&syscalls.Ctx{P: p, OS: m.OS, Proc: pr}, &req)
+		if req.Err != 0 {
+			res.Completed = false
+			return
+		}
+		base := uint64(req.Ret)
+		regionAddr := func(r int) uint64 { return base + uint64(int64(r)*cfg.RegionBytes) }
+
+		lastActive := make([]int, cfg.Regions)
+		resident := make([]bool, cfg.Regions)
+		for i := range lastActive {
+			lastActive[i] = -1
+		}
+
+		rusageBuf := make([]byte, syscalls.RusageSize)
+		for step := 0; step < cfg.Steps && res.Completed; step++ {
+			first := step % cfg.Regions
+			var timedOut bool
+			step := step
+			k := m.GPU.Launch(p, gpu.Kernel{
+				Name:       fmt.Sprintf("amr-step%d", step),
+				WorkGroups: cfg.ActiveWindow + cfg.TailTouches,
+				WGSize:     256,
+				Fn: func(w *gpu.Wavefront) {
+					var region int
+					if w.WG.ID < cfg.ActiveWindow {
+						region = (first + w.WG.ID) % cfg.Regions
+					} else if cfg.TailReach > 0 {
+						// Revisit a recently refined region.
+						back := 1 + (step*13+w.WG.ID*7)%cfg.TailReach
+						region = ((first-back)%cfg.Regions + cfg.Regions) % cfg.Regions
+					}
+					if w.IsLeader() {
+						// The app frees regions by its refinement
+						// schedule (when they leave the window), so only
+						// window touches update the release ordering;
+						// tail re-touches still make the region resident.
+						if w.WG.ID < cfg.ActiveWindow {
+							lastActive[region] = step
+						}
+						resident[region] = true
+						// The stencil touches its region; page faults
+						// (and any swap storm) are serviced under the
+						// GPU watchdog.
+						if err := pr.MM.Touch(w.P, regionAddr(region), cfg.RegionBytes, true); err != nil {
+							if errors.Is(err, vmm.ErrGPUTimeout) {
+								timedOut = true
+							}
+						}
+					}
+					w.Barrier()
+					if !timedOut {
+						w.ComputeTime(cfg.ComputePerStep)
+					}
+					if timedOut || cfg.WatermarkBytes == 0 || !w.IsLeader() {
+						return
+					}
+					// Memory-management epilogue (GENESYS variants):
+					// check RSS with getrusage, release LRU regions with
+					// madvise while over the watermark. Plain wavefront
+					// invocations: the leader acts alone, so no
+					// work-group-collective barriers are involved.
+					r := g.Invoke(w, syscalls.Request{
+						NR: syscalls.SYS_getrusage, Buf: rusageBuf,
+					}, core.Options{Blocking: true, Wait: core.WaitPoll})
+					if !r.Ok() {
+						return
+					}
+					usage, err := syscalls.DecodeRusage(rusageBuf)
+					if err != nil {
+						return
+					}
+					rss := usage.RSSBytes
+					for rss > cfg.WatermarkBytes {
+						victim := -1
+						for reg := 0; reg < cfg.Regions; reg++ {
+							if !resident[reg] {
+								continue
+							}
+							if inWindow(reg, first, cfg.ActiveWindow, cfg.Regions) {
+								continue
+							}
+							if victim < 0 || lastActive[reg] < lastActive[victim] {
+								victim = reg
+							}
+						}
+						if victim < 0 {
+							break
+						}
+						resident[victim] = false
+						g.Invoke(w, syscalls.Request{
+							NR: syscalls.SYS_madvise,
+							Args: [6]uint64{regionAddr(victim),
+								uint64(cfg.RegionBytes), vmm.MADV_DONTNEED},
+						}, core.Options{Blocking: false})
+						res.Madvises++
+						rss -= cfg.RegionBytes
+					}
+				},
+			})
+			k.Wait(p)
+			g.Drain(p)
+			if timedOut {
+				res.Completed = false
+				res.FailedStep = step
+			}
+		}
+		res.Runtime = p.Now() - start
+	})
+	if err := m.Run(); err != nil {
+		return res, err
+	}
+	res.PeakRSS = pr.MM.MaxRSSBytes()
+	res.FinalUsage = pr.MM.Usage()
+	res.RSSTrace, res.RSSTraceBin = pr.MM.RSSTrace()
+	return res, nil
+}
+
+// inWindow reports whether region reg lies in the sliding window of
+// size win starting at first (mod n).
+func inWindow(reg, first, win, n int) bool {
+	for i := 0; i < win; i++ {
+		if (first+i)%n == reg {
+			return true
+		}
+	}
+	return false
+}
