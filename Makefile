@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test check vet race
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full pre-merge gate: compile everything, lint with vet,
+# and run the test suite under the race detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...

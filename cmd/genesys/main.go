@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"genesys/internal/experiments"
+	"genesys/internal/obs"
 	"genesys/internal/platform"
 	"genesys/internal/syscalls"
 	"genesys/internal/workloads"
@@ -26,11 +27,17 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  genesys run [-runs N] [-seed S] <experiment|all> [...]
+  genesys run [-runs N] [-seed S] [-trace FILE] [-metrics] <experiment|all> [...]
   genesys list
   genesys classify
   genesys apps
   genesys platform
+
+run flags:
+  -trace FILE  write a Chrome trace-event JSON (chrome://tracing, Perfetto)
+               of the first simulated machine to FILE
+  -metrics     print each experiment's final metrics registry snapshot
+               (the /sys/genesys/metrics view)
 
 experiments: %v
 `, experiments.IDs())
@@ -65,12 +72,29 @@ func runCmd(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	runs := fs.Int("runs", 3, "seeded repetitions per data point")
 	seed := fs.Int64("seed", 1, "base seed")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the first machine to this file")
+	showMetrics := fs.Bool("metrics", false, "print the metrics registry snapshot after each experiment")
 	_ = fs.Parse(args)
 	ids := fs.Args()
 	if len(ids) == 0 {
 		usage()
 	}
 	o := experiments.Options{Runs: *runs, BaseSeed: *seed}
+
+	// Observe every machine the experiments build: event tracing is
+	// enabled on the first machine only (so the exported trace is one
+	// coherent virtual-time timeline), and the metrics registry of the
+	// most recent machine backs -metrics.
+	var traceLog *obs.EventLog
+	var lastMetrics *obs.Registry
+	o.Observe = func(m *platform.Machine) {
+		if *tracePath != "" && traceLog == nil {
+			m.Obs.Events.SetEnabled(true)
+			traceLog = m.Obs.Events
+		}
+		lastMetrics = m.Obs.Metrics
+	}
+
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
@@ -85,6 +109,32 @@ func runCmd(args []string) {
 		fmt.Println(tbl.Render())
 		fmt.Printf("  (regenerated in %v wall time, %d run(s)/point)\n\n",
 			time.Since(start).Round(time.Millisecond), *runs)
+		if *showMetrics && lastMetrics != nil {
+			fmt.Printf("--- metrics (%s, last machine) ---\n%s\n", id, lastMetrics.Render())
+		}
+	}
+
+	if *tracePath != "" {
+		if traceLog == nil {
+			fmt.Fprintln(os.Stderr, "trace: no machine was built, nothing to export")
+			os.Exit(1)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := traceLog.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d event(s) to %s (%d dropped by ring buffer)\n",
+			traceLog.Len(), *tracePath, traceLog.Dropped())
 	}
 }
 

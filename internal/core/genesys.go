@@ -37,6 +37,7 @@ import (
 	"genesys/internal/fs"
 	"genesys/internal/gpu"
 	"genesys/internal/mem"
+	"genesys/internal/obs"
 	"genesys/internal/oskern"
 	"genesys/internal/sim"
 	"genesys/internal/syscalls"
@@ -212,6 +213,7 @@ type Genesys struct {
 	SlotConflicts sim.Counter
 
 	tracer *Tracer
+	events *obs.EventLog
 }
 
 // New installs GENESYS on a machine: it sizes the syscall area to the
@@ -323,8 +325,9 @@ func (g *Genesys) registerSysfs() {
 	})
 	g.OS.SysfsRoot.Add("stats", &fs.GenFile{Gen: func() []byte {
 		return []byte(fmt.Sprintf(
-			"invocations %d\nbatches %d\nbatched_waves %d\noutstanding %d\n",
-			g.Invocations.Value(), g.Batches.Value(), g.BatchedWaves.Value(), g.outstanding))
+			"invocations %d\nbatches %d\nbatched_waves %d\nslot_conflicts %d\noutstanding %d\n",
+			g.Invocations.Value(), g.Batches.Value(), g.BatchedWaves.Value(),
+			g.SlotConflicts.Value(), g.outstanding))
 	}})
 }
 
@@ -418,10 +421,8 @@ func (g *Genesys) awaitSlots(w *gpu.Wavefront, slots []*Slot, mode WaitMode) []R
 		results[i] = Result{Ret: s.Req.Ret, Err: s.Req.Err, OutArgs: s.Req.OutArgs}
 		g.Mem.GPUAtomic(w.P, mem.OpSwap, 0)
 		s.State = SlotFree
-		if g.tracer != nil {
-			s.trace.harvest = g.E.Now()
-			g.tracer.record(s.trace)
-		}
+		s.trace.harvest = g.E.Now()
+		g.finishTrace(s)
 		g.noteCompleted()
 	}
 	return results
@@ -464,14 +465,12 @@ func (g *Genesys) Invoke(w *gpu.Wavefront, req syscalls.Request, o Options) Resu
 // granularity implies strong ordering within the wavefront (§V-A).
 func (g *Genesys) InvokeEach(w *gpu.Wavefront, mk func(lane int) *syscalls.Request, o Options) []Result {
 	var slots []*Slot
-	var lanes []int
 	for lane := 0; lane < w.Lanes; lane++ {
 		req := mk(lane)
 		if req == nil {
 			continue
 		}
 		slots = append(slots, g.populateSlot(w, lane, *req, o.Blocking))
-		lanes = append(lanes, lane)
 	}
 	if len(slots) == 0 {
 		return nil
@@ -572,13 +571,14 @@ func (g *Genesys) flushPending() {
 func (g *Genesys) enqueueBatch(waves []int) {
 	g.Batches.Inc()
 	g.BatchedWaves.Add(int64(len(waves)))
-	if g.tracer != nil {
-		simd := g.GPU.Config().SIMDWidth
-		for _, hw := range waves {
-			for lane := 0; lane < simd; lane++ {
-				if s := &g.slots[hw*simd+lane]; s.State == SlotReady {
-					s.trace.enqueued = g.E.Now()
-				}
+	// Stamp unconditionally (stamping is free in virtual time): a tracer
+	// attached mid-run must see fully-stamped traces, not a zero enqueued
+	// stamp that yields hugely negative delivery-phase samples.
+	simd := g.GPU.Config().SIMDWidth
+	for _, hw := range waves {
+		for lane := 0; lane < simd; lane++ {
+			if s := &g.slots[hw*simd+lane]; s.State == SlotReady {
+				s.trace.enqueued = g.E.Now()
 			}
 		}
 	}
@@ -626,9 +626,7 @@ func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
 				s.State = SlotFinished
 			} else {
 				s.State = SlotFree
-				if g.tracer != nil {
-					g.tracer.record(s.trace)
-				}
+				g.finishTrace(s)
 				g.noteCompleted()
 			}
 		}

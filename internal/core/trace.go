@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"genesys/internal/obs"
 	"genesys/internal/sim"
 )
 
@@ -24,6 +25,9 @@ func Phases() []string {
 }
 
 // callTrace records the per-call timestamps the tracer aggregates.
+// Every stamp is written unconditionally — stamping is free in virtual
+// time — so a tracer attached mid-run only ever sees fully-stamped
+// traces and never computes a negative phase from an unset (zero) field.
 type callTrace struct {
 	claim    sim.Time // claim attempt started (GPU)
 	ready    sim.Time // slot flipped to ready (GPU)
@@ -33,63 +37,103 @@ type callTrace struct {
 	harvest  sim.Time // invoking work-item consumed the result
 }
 
-// Tracer aggregates per-phase latencies across traced system calls.
-// Attach with Genesys.SetTracer; it costs nothing in virtual time.
+// stamped reports whether every mandatory stamp was written and the
+// stamps are monotonic. harvest may be zero (non-blocking calls have no
+// harvest step).
+func (c callTrace) stamped() bool {
+	if c.ready == 0 || c.enqueued == 0 || c.picked == 0 || c.done == 0 {
+		return false
+	}
+	return c.claim <= c.ready && c.ready <= c.enqueued &&
+		c.enqueued <= c.picked && c.picked <= c.done &&
+		(c.harvest == 0 || c.done <= c.harvest)
+}
+
+// Tracer aggregates per-phase latency histograms across traced system
+// calls. Attach with Genesys.SetTracer; it costs nothing in virtual
+// time. Each phase reports mean and p50/p95/p99 (Figure 2 / Table IV
+// style percentile breakdowns).
 type Tracer struct {
-	mean map[string]*sim.Summary
-	n    int
+	hist    map[string]*obs.Histogram
+	total   *obs.Histogram // end-to-end per-call latency
+	n       int
+	skipped int
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer {
-	m := make(map[string]*sim.Summary, 5)
+	m := make(map[string]*obs.Histogram, 5)
 	for _, ph := range Phases() {
-		m[ph] = &sim.Summary{}
+		m[ph] = obs.NewHistogram()
 	}
-	return &Tracer{mean: m}
+	return &Tracer{hist: m, total: obs.NewHistogram()}
 }
 
 func (t *Tracer) record(c callTrace) {
+	if !c.stamped() {
+		// Incompletely-stamped trace (defensive: should not happen now
+		// that stamping is unconditional) — never emit garbage samples.
+		t.skipped++
+		return
+	}
 	if c.harvest == 0 {
 		c.harvest = c.done // non-blocking: no harvest step
 	}
 	t.n++
-	t.mean[PhaseGPUSetup].Add((c.ready - c.claim).Micro())
-	t.mean[PhaseDelivery].Add((c.enqueued - c.ready).Micro())
-	t.mean[PhaseQueueing].Add((c.picked - c.enqueued).Micro())
-	t.mean[PhaseProcessing].Add((c.done - c.picked).Micro())
-	t.mean[PhaseCompletion].Add((c.harvest - c.done).Micro())
+	t.hist[PhaseGPUSetup].Add((c.ready - c.claim).Micro())
+	t.hist[PhaseDelivery].Add((c.enqueued - c.ready).Micro())
+	t.hist[PhaseQueueing].Add((c.picked - c.enqueued).Micro())
+	t.hist[PhaseProcessing].Add((c.done - c.picked).Micro())
+	t.hist[PhaseCompletion].Add((c.harvest - c.done).Micro())
+	t.total.Add((c.harvest - c.claim).Micro())
 }
 
 // Calls returns how many system calls were traced.
 func (t *Tracer) Calls() int { return t.n }
 
-// Phase returns the latency summary (µs) of one phase.
-func (t *Tracer) Phase(name string) *sim.Summary { return t.mean[name] }
+// Skipped returns how many call traces were rejected for missing or
+// non-monotonic stamps.
+func (t *Tracer) Skipped() int { return t.skipped }
+
+// Phase returns the latency histogram (µs) of one phase.
+func (t *Tracer) Phase(name string) *obs.Histogram { return t.hist[name] }
+
+// Total returns the end-to-end per-call latency histogram (µs).
+func (t *Tracer) Total() *obs.Histogram { return t.total }
 
 // TotalMean returns the mean end-to-end latency in µs.
 func (t *Tracer) TotalMean() float64 {
 	var sum float64
 	for _, ph := range Phases() {
-		sum += t.mean[ph].Mean()
+		sum += t.hist[ph].Mean()
 	}
 	return sum
 }
 
-// String renders the breakdown table.
+// String renders the breakdown table with mean and percentiles.
 func (t *Tracer) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "syscall latency breakdown over %d calls (mean us):\n", t.n)
+	fmt.Fprintf(&b, "syscall latency breakdown over %d calls (us):\n", t.n)
+	fmt.Fprintf(&b, "  %-11s %8s  %6s  %8s %8s %8s\n",
+		"phase", "mean", "share", "p50", "p95", "p99")
 	total := t.TotalMean()
 	for _, ph := range Phases() {
-		m := t.mean[ph].Mean()
+		h := t.hist[ph]
+		m := h.Mean()
 		share := 0.0
 		if total > 0 {
 			share = 100 * m / total
 		}
-		fmt.Fprintf(&b, "  %-11s %8.2f  (%4.1f%%)\n", ph, m, share)
+		q := h.Percentiles(50, 95, 99)
+		fmt.Fprintf(&b, "  %-11s %8.2f  %5.1f%%  %8.2f %8.2f %8.2f\n",
+			ph, m, share, q[0], q[1], q[2])
 	}
-	fmt.Fprintf(&b, "  %-11s %8.2f\n", "total", total)
+	q := t.total.Percentiles(50, 95, 99)
+	fmt.Fprintf(&b, "  %-11s %8.2f  %6s  %8.2f %8.2f %8.2f\n",
+		"total", total, "", q[0], q[1], q[2])
+	if t.skipped > 0 {
+		fmt.Fprintf(&b, "  (%d incompletely-stamped trace(s) skipped)\n", t.skipped)
+	}
 	return b.String()
 }
 
@@ -98,3 +142,30 @@ func (g *Genesys) SetTracer(t *Tracer) { g.tracer = t }
 
 // Tracer returns the attached tracer, if any.
 func (g *Genesys) Tracer() *Tracer { return g.tracer }
+
+// SetEventLog attaches the machine's structured event log; completed
+// call traces are emitted as per-phase spans (one trace-viewer thread
+// per syscall slot).
+func (g *Genesys) SetEventLog(l *obs.EventLog) { g.events = l }
+
+// finishTrace routes one completed call trace to the attached tracer
+// and, when event logging is enabled, emits its life-cycle spans.
+func (g *Genesys) finishTrace(s *Slot) {
+	if g.tracer != nil {
+		g.tracer.record(s.trace)
+	}
+	if !g.events.Enabled() {
+		return
+	}
+	c := s.trace
+	if !c.stamped() {
+		return
+	}
+	g.events.Span("syscall", PhaseGPUSetup, obs.PIDSyscalls, s.ID, c.claim, c.ready)
+	g.events.Span("syscall", PhaseDelivery, obs.PIDSyscalls, s.ID, c.ready, c.enqueued)
+	g.events.Span("syscall", PhaseQueueing, obs.PIDSyscalls, s.ID, c.enqueued, c.picked)
+	g.events.Span("syscall", PhaseProcessing, obs.PIDSyscalls, s.ID, c.picked, c.done)
+	if c.harvest != 0 {
+		g.events.Span("syscall", PhaseCompletion, obs.PIDSyscalls, s.ID, c.done, c.harvest)
+	}
+}

@@ -91,3 +91,55 @@ func TestOptionEnumStrings(t *testing.T) {
 		t.Fatal("wait mode strings")
 	}
 }
+
+// TestTracerAttachMidRun is the regression test for the mid-run attach
+// bug: enqueueBatch used to stamp trace.enqueued only when a tracer was
+// already attached, so a tracer attached between populate and harvest
+// computed 0 - ready → hugely negative delivery-phase samples. Stamps
+// are now written unconditionally and record() refuses partial traces.
+func TestTracerAttachMidRun(t *testing.T) {
+	m := newMachine(t, 7)
+	pr := m.NewProcess("midrun")
+	f, _ := m.VFS.Open("/tmp/mid", fs.O_CREAT|fs.O_WRONLY)
+	fd, _ := pr.FDs.Install(f)
+
+	tr := core.NewTracer()
+	// Attach mid-run: after launch overhead (20us) calls are in flight;
+	// 60us lands between many calls' populate and harvest.
+	m.E.After(60*sim.Microsecond, func() { m.Genesys.SetTracer(tr) })
+
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name: "midrun", WorkGroups: 8, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				for i := 0; i < 4; i++ {
+					m.Genesys.InvokeWG(w, syscalls.Request{
+						NR:   syscalls.SYS_pwrite64,
+						Args: [6]uint64{uint64(fd), 8, uint64(64*w.WG.ID + 8*i)},
+						Buf:  make([]byte, 8),
+					}, core.Options{Blocking: true, Wait: core.WaitPoll,
+						Ordering: core.Relaxed, Kind: core.Consumer})
+				}
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Calls() == 0 {
+		t.Fatal("mid-run tracer saw no calls")
+	}
+	if tr.Skipped() != 0 {
+		t.Fatalf("%d traces skipped; stamping should be unconditional", tr.Skipped())
+	}
+	for _, ph := range core.Phases() {
+		if min := tr.Phase(ph).Min(); min < 0 {
+			t.Fatalf("phase %s has negative sample: min = %f us", ph, min)
+		}
+	}
+	if tr.Total().Min() < 0 {
+		t.Fatalf("negative end-to-end sample: %f", tr.Total().Min())
+	}
+}

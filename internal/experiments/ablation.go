@@ -25,7 +25,7 @@ func Ablation(o Options) *Table {
 
 	flood := func(tweak func(*platform.Config)) *sim.Summary {
 		return sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, tweak)
+			m := newMachine(o, seed, tweak)
 			defer m.Shutdown()
 			res, err := workloads.RunPread(m, workloads.PreadConfig{
 				FileSize: 512 * 4096, ChunkPerWI: 4096, WGSize: 64,

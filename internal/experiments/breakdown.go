@@ -5,11 +5,18 @@ import (
 
 	"genesys/internal/core"
 	"genesys/internal/gpu"
+	"genesys/internal/obs"
 	"genesys/internal/platform"
 	"genesys/internal/sim"
 	"genesys/internal/syscalls"
 	"genesys/internal/workloads"
 )
+
+// quantCell renders a histogram's p50/p95/p99 as one table cell.
+func quantCell(h *obs.Histogram) string {
+	q := h.Percentiles(50, 95, 99)
+	return fmt.Sprintf("%.2f/%.2f/%.2f", q[0], q[1], q[2])
+}
 
 // Breakdown decomposes the end-to-end latency of a blocking GPU system
 // call into the paper's Figure 2 steps (GPU-side setup, interrupt
@@ -20,18 +27,22 @@ func Breakdown(o Options) *Table {
 	t := &Table{
 		ID:    "breakdown",
 		Title: "End-to-end latency breakdown of one blocking GPU system call (Figure 2 steps)",
-		Note: "Mean per-phase latency (us) of work-group-granularity pwrite(64B). Under load\n" +
-			"(64 work-groups), queueing dominates — the coalescing/granularity trade-offs of\n" +
-			"§V all move time between these phases.",
+		Note: "Per-phase latency (us) of work-group-granularity pwrite(64B): mean row, then\n" +
+			"p50/p95/p99 over every traced call of all runs. Under load (64 work-groups),\n" +
+			"queueing dominates — the coalescing/granularity trade-offs of §V all move time\n" +
+			"between these phases.",
 		Header: append([]string{"configuration"}, append(core.Phases(), "total (us)")...),
 	}
 	run := func(label string, wait core.WaitMode, wgs int, tweak func(*platform.Config)) {
 		phase := map[string]*sim.Summary{}
+		phaseHist := map[string]*obs.Histogram{}
 		for _, ph := range core.Phases() {
 			phase[ph] = &sim.Summary{}
+			phaseHist[ph] = obs.NewHistogram()
 		}
+		totalHist := obs.NewHistogram()
 		total := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, tweak)
+			m := newMachine(o, seed, tweak)
 			defer m.Shutdown()
 			pr := m.NewProcess("bd")
 			tr := core.NewTracer()
@@ -63,7 +74,9 @@ func Breakdown(o Options) *Table {
 			}
 			for _, ph := range core.Phases() {
 				phase[ph].Add(tr.Phase(ph).Mean())
+				phaseHist[ph].Merge(tr.Phase(ph))
 			}
+			totalHist.Merge(tr.Total())
 			return tr.TotalMean()
 		})
 		row := []string{label}
@@ -72,6 +85,12 @@ func Breakdown(o Options) *Table {
 		}
 		row = append(row, f2(total))
 		t.AddRow(row...)
+		prow := []string{"  p50/p95/p99"}
+		for _, ph := range core.Phases() {
+			prow = append(prow, quantCell(phaseHist[ph]))
+		}
+		prow = append(prow, quantCell(totalHist))
+		t.AddRow(prow...)
 	}
 	run("idle, polling", core.WaitPoll, 1, nil)
 	run("idle, halt-resume", core.WaitHaltResume, 1, nil)

@@ -37,7 +37,7 @@ func Fig11MiniAMR(o Options) *Table {
 		var completed bool
 		var peak, madvises sim.Summary
 		rt := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, miniAMRTweak)
+			m := newMachine(o, seed, miniAMRTweak)
 			defer m.Shutdown()
 			cfg := workloads.DefaultMiniAMRConfig()
 			cfg.WatermarkBytes = v.watermark
@@ -75,7 +75,7 @@ func Fig12SignalSearch(o Options) *Table {
 	}
 	run := func(useSignals bool) *sim.Summary {
 		return sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, nil)
+			m := newMachine(o, seed, nil)
 			defer m.Shutdown()
 			cfg := workloads.DefaultSignalSearchConfig()
 			cfg.UseSignals = useSignals
@@ -108,7 +108,7 @@ func Fig13aGrep(o Options) *Table {
 		workloads.GrepGPUWorkGroup, workloads.GrepGPUWorkItemPoll, workloads.GrepGPUWorkItemHalt} {
 		v := v
 		s := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, nil)
+			m := newMachine(o, seed, nil)
 			defer m.Shutdown()
 			cfg := workloads.DefaultGrepConfig(v)
 			cfg.Seed = seed
@@ -142,7 +142,7 @@ func Fig13bWordcount(o Options) *Table {
 		workloads.WordcountGPUNoSyscall, workloads.WordcountGENESYS} {
 		v := v
 		s := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, nil)
+			m := newMachine(o, seed, nil)
 			defer m.Shutdown()
 			cfg := workloads.DefaultWordcountConfig(v)
 			cfg.Seed = seed
@@ -177,7 +177,7 @@ func Fig14WordcountTraces(o Options) *Table {
 		v := v
 		var peak, util sim.Summary
 		mean := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, nil)
+			m := newMachine(o, seed, nil)
 			defer m.Shutdown()
 			cfg := workloads.DefaultWordcountConfig(v)
 			cfg.Seed = seed
@@ -207,7 +207,7 @@ func Fig15Memcached(o Options) *Table {
 		v := v
 		var p99, tput, served sim.Summary
 		lat := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, nil)
+			m := newMachine(o, seed, nil)
 			defer m.Shutdown()
 			res, err := workloads.RunMemcached(m, workloads.DefaultMemcachedConfig(v))
 			if err != nil {
@@ -231,7 +231,7 @@ func Fig15Memcached(o Options) *Table {
 		elems := elems
 		lat := func(v workloads.MemcachedVariant) *sim.Summary {
 			return sweep(o, func(seed int64) float64 {
-				m := newMachine(seed, nil)
+				m := newMachine(o, seed, nil)
 				defer m.Shutdown()
 				cfg := workloads.DefaultMemcachedConfig(v)
 				cfg.ElemsPerBucket = elems
@@ -262,7 +262,7 @@ func Fig16BMPDisplay(o Options) *Table {
 		Note:   "The GPU queries and sets framebuffer properties over ioctl, mmaps the\nframebuffer, and rasterizes an image into it (paper Figure 16).",
 		Header: []string{"metric", "value"},
 	}
-	m := newMachine(o.BaseSeed, nil)
+	m := newMachine(o, o.BaseSeed, nil)
 	defer m.Shutdown()
 	res, err := workloads.RunBMPDisplay(m, workloads.DefaultBMPDisplayConfig())
 	if err != nil {
@@ -280,7 +280,7 @@ func Fig16BMPDisplay(o Options) *Table {
 func All(o Options) []*Table {
 	return []*Table{
 		Table2Classification(),
-		Table3Platform(),
+		Table3Platform(o),
 		Table4AtomicCosts(o),
 		Fig7Granularity(o),
 		Fig8BlockingOrdering(o),
@@ -302,7 +302,7 @@ func All(o Options) []*Table {
 func ByID(id string) (func(Options) *Table, bool) {
 	m := map[string]func(Options) *Table{
 		"table2":    func(Options) *Table { return Table2Classification() },
-		"table3":    func(Options) *Table { return Table3Platform() },
+		"table3":    func(o Options) *Table { return Table3Platform(o) },
 		"table4":    Table4AtomicCosts,
 		"fig7":      Fig7Granularity,
 		"fig8":      Fig8BlockingOrdering,

@@ -20,6 +20,10 @@ type Options struct {
 	Runs int
 	// BaseSeed is the first seed; run i uses BaseSeed+i.
 	BaseSeed int64
+	// Observe, when set, is called with every machine an experiment
+	// builds, right after construction — the hook the CLI uses to enable
+	// event-log tracing and to read the metrics registry afterwards.
+	Observe func(*platform.Machine)
 }
 
 // DefaultOptions returns 3 runs from seed 1.
@@ -88,14 +92,19 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// newMachine builds a machine with the given seed and optional tweaks.
-func newMachine(seed int64, tweak func(*platform.Config)) *platform.Machine {
+// newMachine builds a machine with the given seed and optional tweaks,
+// then hands it to the Observe hook, if any.
+func newMachine(o Options, seed int64, tweak func(*platform.Config)) *platform.Machine {
 	cfg := platform.DefaultConfig()
 	cfg.Seed = seed
 	if tweak != nil {
 		tweak(&cfg)
 	}
-	return platform.New(cfg)
+	m := platform.New(cfg)
+	if o.Observe != nil {
+		o.Observe(m)
+	}
+	return m
 }
 
 // sweep runs fn once per seed and feeds the returned metric into a

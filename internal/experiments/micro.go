@@ -45,8 +45,8 @@ func Table2Classification() *Table {
 }
 
 // Table3Platform renders the simulated system configuration.
-func Table3Platform() *Table {
-	m := newMachine(1, nil)
+func Table3Platform(o Options) *Table {
+	m := newMachine(o, 1, nil)
 	defer m.Shutdown()
 	t := &Table{
 		ID:     "table3",
@@ -81,7 +81,7 @@ func Table4AtomicCosts(o Options) *Table {
 	for _, op := range []mem.Op{mem.OpCmpSwap, mem.OpSwap, mem.OpAtomicLoad, mem.OpLoad} {
 		op := op
 		s := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, nil)
+			m := newMachine(o, seed, nil)
 			defer m.Shutdown()
 			const n = 200
 			var elapsed sim.Time
@@ -129,7 +129,7 @@ func Fig7Granularity(o Options) *Table {
 			workloads.GranWorkGroup, workloads.GranKernel} {
 			gran := gran
 			s := sweep(o, func(seed int64) float64 {
-				m := newMachine(seed, nil)
+				m := newMachine(o, seed, nil)
 				defer m.Shutdown()
 				res, err := workloads.RunPread(m, workloads.PreadConfig{
 					FileSize: size, ChunkPerWI: 16 << 10, WGSize: 64,
@@ -150,7 +150,7 @@ func Fig7Granularity(o Options) *Table {
 	for _, wg := range []int{64, 128, 256, 512, 1024} {
 		wg := wg
 		s := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, nil)
+			m := newMachine(o, seed, nil)
 			defer m.Shutdown()
 			res, err := workloads.RunPread(m, workloads.PreadConfig{
 				FileSize: 16 << 20, ChunkPerWI: 1 << 10, WGSize: wg,
@@ -191,7 +191,7 @@ func Fig8BlockingOrdering(o Options) *Table {
 		for _, v := range variants {
 			v := v
 			s := sweep(o, func(seed int64) float64 {
-				m := newMachine(seed, nil)
+				m := newMachine(o, seed, nil)
 				defer m.Shutdown()
 				res, err := workloads.RunPermute(m, workloads.PermuteConfig{
 					Blocks: 64, Iterations: iters,
@@ -223,7 +223,7 @@ func Fig9PollingContention(o Options) *Table {
 		lines := lines
 		var miss float64
 		s := sweep(o, func(seed int64) float64 {
-			m := newMachine(seed, nil)
+			m := newMachine(o, seed, nil)
 			defer m.Shutdown()
 			res, err := workloads.RunPollProbe(m, workloads.PollProbeConfig{
 				PolledLines: lines, PollerWaves: 128, Duration: sim.Millisecond,
@@ -254,7 +254,7 @@ func Fig10Coalescing(o Options) *Table {
 		chunk := chunk
 		run := func(window sim.Time, max int) *sim.Summary {
 			return sweep(o, func(seed int64) float64 {
-				m := newMachine(seed, nil)
+				m := newMachine(o, seed, nil)
 				defer m.Shutdown()
 				m.Genesys.SetCoalescing(window, max)
 				res, err := workloads.RunPread(m, workloads.PreadConfig{

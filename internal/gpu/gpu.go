@@ -22,6 +22,7 @@ package gpu
 import (
 	"fmt"
 
+	"genesys/internal/obs"
 	"genesys/internal/sim"
 )
 
@@ -79,6 +80,10 @@ type Device struct {
 	// hwWaves maps hardware wavefront slot → resident wavefront.
 	hwWaves []*Wavefront
 
+	// events, when attached and enabled, receives wavefront run/halt
+	// spans and interrupt instants (one trace-viewer thread per HW slot).
+	events *obs.EventLog
+
 	KernelsLaunched sim.Counter
 	WGsDispatched   sim.Counter
 	Interrupts      sim.Counter
@@ -119,6 +124,9 @@ func (d *Device) Config() Config { return d.cfg }
 
 // SetIRQHandler registers the CPU-side interrupt handler.
 func (d *Device) SetIRQHandler(h IRQHandler) { d.irq = h }
+
+// SetEventLog attaches the machine's structured event log.
+func (d *Device) SetEventLog(l *obs.EventLog) { d.events = l }
 
 // HWWorkItems returns the number of active hardware work-items the device
 // can host — the number of slots a GENESYS syscall area needs.
@@ -307,9 +315,12 @@ func (d *Device) startWG(kr *KernelRun, c *cu) {
 	}
 	for _, w := range wg.waves {
 		w := w
-		d.e.Spawn(fmt.Sprintf("%s/wg%d/wf%d", kr.Name, wg.ID, w.ID), func(p *sim.Proc) {
+		name := fmt.Sprintf("%s/wg%d/wf%d", kr.Name, wg.ID, w.ID)
+		d.e.Spawn(name, func(p *sim.Proc) {
 			w.P = p
+			start := d.e.Now()
 			kr.Fn(w)
+			d.events.Span("gpu", "wave "+name, obs.PIDGPU, w.HWSlot, start, d.e.Now())
 			d.waveDone(w)
 		})
 	}
@@ -477,6 +488,7 @@ func (w *Wavefront) Interrupt() {
 	w.dev.Interrupts.Inc()
 	d := w.dev
 	hw := w.HWSlot
+	d.events.Instant("gpu", "irq", obs.PIDGPU, hw, d.e.Now())
 	d.e.After(d.cfg.InterruptLatency, func() {
 		if d.irq != nil {
 			d.irq(hw)
@@ -489,11 +501,13 @@ func (w *Wavefront) Interrupt() {
 // charged on wake-up.
 func (w *Wavefront) Halt() {
 	w.dev.Halts.Inc()
+	start := w.dev.e.Now()
 	w.halted = true
 	for w.halted {
 		w.resumeCond.Wait(w.P, fmt.Sprintf("halted wavefront hw%d", w.HWSlot))
 	}
 	w.P.Sleep(w.dev.cfg.ResumeLatency)
+	w.dev.events.Span("gpu", "halt", obs.PIDGPU, w.HWSlot, start, w.dev.e.Now())
 }
 
 // Halted reports whether the wavefront is currently halted.

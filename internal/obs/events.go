@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"genesys/internal/sim"
+)
+
+// Synthetic process IDs grouping event-log threads in trace viewers:
+// GPU wavefront activity, OS kernel workers, and GENESYS syscall slot
+// lifecycles each render as one "process" row group.
+const (
+	PIDGPU      = 1
+	PIDKernel   = 2
+	PIDSyscalls = 3
+)
+
+// EventKind distinguishes spans (duration events) from instants.
+type EventKind uint8
+
+const (
+	KindSpan EventKind = iota
+	KindInstant
+)
+
+// Event is one structured event in virtual time. For spans, [Start, End]
+// is the duration; instants use only Start.
+type Event struct {
+	Kind EventKind
+	Cat  string // category, e.g. "gpu", "kernel", "syscall"
+	Name string
+	PID  int // synthetic process ID (PIDGPU, ...)
+	TID  int // thread within the group: HW slot, worker ID, slot ID
+	Start, End sim.Time
+}
+
+// Dur returns the span duration (0 for instants).
+func (e Event) Dur() sim.Time {
+	if e.Kind != KindSpan {
+		return 0
+	}
+	return e.End - e.Start
+}
+
+// DefaultEventCap is the default ring-buffer capacity.
+const DefaultEventCap = 1 << 16
+
+// EventLog is a bounded ring buffer of structured events. It starts
+// disabled so instrumented hot paths cost nothing until a consumer (the
+// -trace flag, a test) opts in; when full, the oldest events are
+// overwritten and counted as dropped. All methods are safe on a nil
+// receiver, so call sites need no guards.
+type EventLog struct {
+	enabled bool
+	buf     []Event
+	head    int   // next write position
+	total   int64 // events ever recorded
+	rejected int64 // spans refused for negative duration
+
+	procNames map[int]string
+}
+
+// NewEventLog returns a disabled log holding up to capacity events
+// (DefaultEventCap if capacity <= 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{
+		buf:       make([]Event, 0, capacity),
+		procNames: make(map[int]string),
+	}
+}
+
+// SetEnabled switches recording on or off.
+func (l *EventLog) SetEnabled(on bool) {
+	if l != nil {
+		l.enabled = on
+	}
+}
+
+// Enabled reports whether the log is recording.
+func (l *EventLog) Enabled() bool { return l != nil && l.enabled }
+
+// NameProcess labels a synthetic process ID in exported traces.
+func (l *EventLog) NameProcess(pid int, name string) {
+	if l != nil {
+		l.procNames[pid] = name
+	}
+}
+
+func (l *EventLog) push(e Event) {
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.head] = e
+	l.head = (l.head + 1) % len(l.buf)
+}
+
+// Span records a [start, end] duration event. Spans whose end precedes
+// their start are rejected (and counted) rather than corrupting the
+// exported trace.
+func (l *EventLog) Span(cat, name string, pid, tid int, start, end sim.Time) {
+	if !l.Enabled() {
+		return
+	}
+	if end < start {
+		l.rejected++
+		return
+	}
+	l.push(Event{Kind: KindSpan, Cat: cat, Name: name, PID: pid, TID: tid, Start: start, End: end})
+}
+
+// Instant records a point event at time t.
+func (l *EventLog) Instant(cat, name string, pid, tid int, t sim.Time) {
+	if !l.Enabled() {
+		return
+	}
+	l.push(Event{Kind: KindInstant, Cat: cat, Name: name, PID: pid, TID: tid, Start: t})
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.buf)
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total - int64(len(l.buf))
+}
+
+// Rejected returns how many spans were refused for negative duration.
+func (l *EventLog) Rejected() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.rejected
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.head:]...)
+	out = append(out, l.buf[:l.head]...)
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (ph "X" = complete span, "i" = instant, "M" = metadata).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the retained events as Chrome trace-event
+// JSON, loadable in chrome://tracing and Perfetto. Timestamps are
+// virtual-time microseconds.
+func (l *EventLog) WriteChromeTrace(w io.Writer) error {
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+	if l != nil {
+		pids := make([]int, 0, len(l.procNames))
+		for pid := range l.procNames {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": l.procNames[pid]},
+			})
+		}
+		for _, e := range l.Events() {
+			ce := chromeEvent{
+				Name: e.Name, Cat: e.Cat, Ts: e.Start.Micro(),
+				PID: e.PID, TID: e.TID,
+			}
+			switch e.Kind {
+			case KindSpan:
+				ce.Ph = "X"
+				ce.Dur = e.Dur().Micro()
+			default:
+				ce.Ph = "i"
+				ce.S = "t"
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram bucket geometry: bucket 0 is the underflow bucket for
+// samples ≤ histMin; bucket i > 0 covers (histMin·g^(i-1), histMin·g^i]
+// with g = 2^(1/8), i.e. eight sub-buckets per octave — a worst-case
+// relative quantile error of ~±4.4% over ~15 decades of range.
+const (
+	histMin     = 1e-3
+	histBuckets = 512
+)
+
+var histGrowth = math.Pow(2, 1.0/8)
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+func bucketOf(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	i := 1 + int(math.Floor(math.Log(v/histMin)*invLogGrowth))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBounds returns the (lo, hi] value range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, histMin
+	}
+	lo = histMin * math.Pow(histGrowth, float64(i-1))
+	return lo, lo * histGrowth
+}
+
+// Histogram accumulates scalar samples into logarithmic buckets and
+// answers percentile queries — the upgrade from the mean-only
+// sim.Summary that lets the tracer report p50/p95/p99 per phase.
+// Exact count, sum, min and max are tracked alongside the buckets, so
+// Mean/Min/Max are precise; only quantiles are approximate.
+type Histogram struct {
+	counts []int64 // lazily grown to the highest touched bucket
+	n      int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one sample. Negative samples clamp into the underflow
+// bucket (they never occur once tracer stamping is sound, but a garbage
+// sample must not corrupt the buckets).
+func (h *Histogram) Add(v float64) {
+	if h.n == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.n++
+	h.sum += v
+	i := bucketOf(v)
+	for len(h.counts) <= i {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[i]++
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return int(h.n) }
+
+// Mean returns the exact sample mean (0 for no samples).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Sum returns the exact sample sum.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Min returns the smallest sample (0 for no samples).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest sample (0 for no samples).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns the approximate p-th percentile (0 ≤ p ≤ 100),
+// interpolated within the bucket the rank falls in and clamped to the
+// exact observed [min, max].
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := p / 100 * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - prev) / float64(c)
+			v := lo + (hi-lo)*frac
+			return clamp(v, h.min, h.max)
+		}
+	}
+	return h.max
+}
+
+// Percentiles returns the requested percentiles in order.
+func (h *Histogram) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = h.Quantile(p)
+	}
+	return out
+}
+
+// Merge folds other's samples into h (exactly for count/sum/min/max,
+// bucket-wise for the quantile state). Merging histograms from separate
+// seeded runs is how experiments report cross-run percentiles.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		h.min, h.max = other.min, other.max
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.n += other.n
+	h.sum += other.sum
+	for len(h.counts) < len(other.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (h *Histogram) String() string {
+	q := h.Percentiles(50, 95, 99)
+	return fmt.Sprintf("mean=%.3g p50=%.3g p95=%.3g p99=%.3g (n=%d)",
+		h.Mean(), q[0], q[1], q[2], h.n)
+}

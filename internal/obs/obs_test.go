@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"genesys/internal/sim"
+)
+
+// --- Registry --------------------------------------------------------------
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	var c1, c2 sim.Counter
+	c1.Add(7)
+	c2.Add(3)
+	r.RegisterCounter("zeta.ops", &c1)
+	r.RegisterCounter("alpha.ops", &c2)
+	depth := int64(5)
+	r.RegisterGauge("mid.depth", func() int64 { return depth })
+
+	names := r.Names()
+	want := []string{"alpha.ops", "mid.depth", "zeta.ops"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["zeta.ops"] != 7 || snap["alpha.ops"] != 3 || snap["mid.depth"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	// Registered pointers stay live: later increments are visible.
+	c1.Inc()
+	depth = 9
+	if v, ok := r.Value("zeta.ops"); !ok || v != 8 {
+		t.Fatalf("zeta.ops = %d, %v", v, ok)
+	}
+	if v, _ := r.Value("mid.depth"); v != 9 {
+		t.Fatalf("mid.depth = %d", v)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatal("missing metric resolved")
+	}
+
+	out := r.Render()
+	if out != "alpha.ops 3\nmid.depth 9\nzeta.ops 8\n" {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	var c sim.Counter
+	r.RegisterCounter("x.y", &c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.RegisterGauge("x.y", func() int64 { return 0 })
+}
+
+// --- EventLog --------------------------------------------------------------
+
+func TestEventLogRingBounded(t *testing.T) {
+	l := NewEventLog(4)
+	l.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		l.Instant("t", "ev", 1, i, sim.Time(i)*sim.Microsecond)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want 4", l.Len())
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", l.Dropped())
+	}
+	evs := l.Events()
+	for i, e := range evs {
+		if e.TID != 6+i { // oldest retained is event 6, oldest-first order
+			t.Fatalf("event %d has tid %d", i, e.TID)
+		}
+	}
+}
+
+func TestEventLogDisabledAndNil(t *testing.T) {
+	l := NewEventLog(8)
+	l.Span("c", "n", 1, 1, 0, sim.Microsecond) // disabled: dropped silently
+	if l.Len() != 0 {
+		t.Fatal("disabled log recorded an event")
+	}
+	var nl *EventLog
+	nl.Span("c", "n", 1, 1, 0, 1) // must not panic
+	nl.Instant("c", "n", 1, 1, 0)
+	nl.SetEnabled(true)
+	nl.NameProcess(1, "x")
+	if nl.Enabled() || nl.Len() != 0 || nl.Dropped() != 0 || nl.Rejected() != 0 {
+		t.Fatal("nil log misbehaved")
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventLogRejectsNegativeSpans(t *testing.T) {
+	l := NewEventLog(8)
+	l.SetEnabled(true)
+	l.Span("c", "bad", 1, 1, 10*sim.Microsecond, 5*sim.Microsecond)
+	if l.Len() != 0 || l.Rejected() != 1 {
+		t.Fatalf("len=%d rejected=%d", l.Len(), l.Rejected())
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	l := NewEventLog(16)
+	l.SetEnabled(true)
+	l.NameProcess(PIDGPU, "gpu")
+	l.Span("gpu", "wave", PIDGPU, 3, 2*sim.Microsecond, 12*sim.Microsecond)
+	l.Instant("gpu", "irq", PIDGPU, 3, 5*sim.Microsecond)
+
+	var buf bytes.Buffer
+	if err := l.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed.TraceEvents) != 3 { // metadata + span + instant
+		t.Fatalf("got %d events", len(parsed.TraceEvents))
+	}
+	var sawSpan bool
+	for _, e := range parsed.TraceEvents {
+		if e.Dur < 0 {
+			t.Fatalf("negative duration: %+v", e)
+		}
+		if e.Ph == "X" {
+			sawSpan = true
+			if e.Ts != 2 || e.Dur != 10 || e.TID != 3 {
+				t.Fatalf("span fields: %+v", e)
+			}
+		}
+	}
+	if !sawSpan {
+		t.Fatal("no complete-span event exported")
+	}
+}
+
+// --- Histogram -------------------------------------------------------------
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 1000 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if m := h.Mean(); math.Abs(m-500.5) > 1e-9 {
+		t.Fatalf("mean = %f", m)
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %f/%f", h.Min(), h.Max())
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{50, 500}, {95, 950}, {99, 990},
+	} {
+		got := h.Quantile(tc.p)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.06 {
+			t.Fatalf("p%.0f = %f, want ~%f (rel err %.3f)", tc.p, got, tc.want, rel)
+		}
+	}
+	if h.Quantile(0) != 1 || h.Quantile(100) != 1000 {
+		t.Fatal("extreme quantiles must be exact min/max")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Add(42.5)
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := h.Quantile(p); got != 42.5 {
+			t.Fatalf("p%.0f = %f, want 42.5", p, got)
+		}
+	}
+	if h.Mean() != 42.5 || h.Min() != 42.5 || h.Max() != 42.5 {
+		t.Fatal("single-sample stats")
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(50) != 0 || h.Mean() != 0 || h.N() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	// Negative/zero samples land in the underflow bucket without
+	// corrupting anything; quantiles clamp to the exact min.
+	h.Add(-3)
+	h.Add(0)
+	h.Add(10)
+	if h.N() != 3 || h.Min() != -3 || h.Max() != 10 {
+		t.Fatalf("stats: n=%d min=%f max=%f", h.N(), h.Min(), h.Max())
+	}
+	if q := h.Quantile(10); q < -3 || q > 10 {
+		t.Fatalf("p10 = %f out of range", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 500; i++ {
+		a.Add(float64(i))
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(NewHistogram())
+	if a.N() != 1000 || a.Min() != 1 || a.Max() != 1000 {
+		t.Fatalf("merged: n=%d min=%f max=%f", a.N(), a.Min(), a.Max())
+	}
+	if got := a.Quantile(50); math.Abs(got-500)/500 > 0.06 {
+		t.Fatalf("merged p50 = %f", got)
+	}
+	if s := a.String(); s == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,132 @@
+// Package obs is the observability layer of the simulated machine: a
+// metrics registry every subsystem publishes named counters and gauges
+// into (rendered at /sys/genesys/metrics), a structured event log of
+// virtual-time spans and instants exportable as Chrome trace-event JSON
+// (openable in chrome://tracing or Perfetto), and log-bucketed latency
+// histograms with percentile queries.
+//
+// The paper's evidence is latency breakdowns and counter trajectories
+// (Figure 2's five-step cost split, Table IV, the Figure 9/14 knees);
+// this package is what makes those measurements uniform, exportable and
+// checkable instead of ad-hoc per-package fields.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genesys/internal/sim"
+)
+
+// Gauge reports an instantaneous value (queue depth, outstanding calls,
+// free pages) each time the registry is snapshot.
+type Gauge func() int64
+
+// Registry is a machine-wide catalogue of named statistics. Names are
+// dot-separated "<subsystem>.<stat>" (e.g. "genesys.slot_conflicts");
+// registering a duplicate name panics, since it would silently shadow a
+// statistic.
+type Registry struct {
+	counters map[string]*sim.Counter
+	gauges   map[string]Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*sim.Counter),
+		gauges:   make(map[string]Gauge),
+	}
+}
+
+func (r *Registry) checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	if _, ok := r.counters[name]; ok {
+		panic("obs: duplicate metric " + name)
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic("obs: duplicate metric " + name)
+	}
+}
+
+// RegisterCounter publishes a subsystem counter under name. The registry
+// keeps the pointer, so later increments are visible in snapshots.
+func (r *Registry) RegisterCounter(name string, c *sim.Counter) {
+	r.checkName(name)
+	if c == nil {
+		panic("obs: nil counter " + name)
+	}
+	r.counters[name] = c
+}
+
+// RegisterGauge publishes an instantaneous statistic under name.
+func (r *Registry) RegisterGauge(name string, g Gauge) {
+	r.checkName(name)
+	if g == nil {
+		panic("obs: nil gauge " + name)
+	}
+	r.gauges[name] = g
+}
+
+// Names returns all registered metric names, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Value returns the current value of one metric.
+func (r *Registry) Value(name string) (int64, bool) {
+	if c, ok := r.counters[name]; ok {
+		return c.Value(), true
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g(), true
+	}
+	return 0, false
+}
+
+// Snapshot returns the current value of every registered metric.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g()
+	}
+	return out
+}
+
+// Render produces the sorted "name value" text served at
+// /sys/genesys/metrics.
+func (r *Registry) Render() string {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, n := range r.Names() {
+		fmt.Fprintf(&b, "%s %d\n", n, snap[n])
+	}
+	return b.String()
+}
+
+// Observer bundles the per-machine observability state: the metrics
+// registry and the event log. platform.New creates one per Machine.
+type Observer struct {
+	Metrics *Registry
+	Events  *EventLog
+}
+
+// New returns an Observer with an empty registry and a disabled event
+// log of the default capacity.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry(), Events: NewEventLog(0)}
+}

@@ -18,6 +18,7 @@ import (
 	"genesys/internal/fs"
 	"genesys/internal/gpu"
 	"genesys/internal/netstack"
+	"genesys/internal/obs"
 	"genesys/internal/sig"
 	"genesys/internal/sim"
 	"genesys/internal/vmm"
@@ -85,6 +86,10 @@ type OS struct {
 	workers     int // workers spawned
 	idleWorkers int // workers blocked on an empty queue
 
+	// events, when attached and enabled, receives one span per executed
+	// work-queue task (one trace-viewer thread per worker).
+	events *obs.EventLog
+
 	TasksRun sim.Counter
 	Syscalls sim.Counter
 }
@@ -119,8 +124,11 @@ func New(e *sim.Engine, c *cpu.CPU, v *fs.VFS, net *netstack.Stack,
 }
 
 func (o *OS) spawnWorker() {
+	id := o.workers
 	o.workers++
-	o.E.SpawnDaemon(fmt.Sprintf("kworker/%d", o.workers-1), o.worker)
+	o.E.SpawnDaemon(fmt.Sprintf("kworker/%d", id), func(p *sim.Proc) {
+		o.worker(p, id)
+	})
 }
 
 // Workers returns the current worker-pool size.
@@ -152,6 +160,9 @@ func (o *OS) setupNamespaces() {
 // RUSAGE_GPU) can report accelerator usage.
 func (o *OS) AttachGPU(d *gpu.Device) { o.GPU = d }
 
+// SetEventLog attaches the machine's structured event log.
+func (o *OS) SetEventLog(l *obs.EventLog) { o.events = l }
+
 // AddDevice registers a device node under /dev.
 func (o *OS) AddDevice(name string, n fs.Node) {
 	d, err := o.VFS.ResolveDir("/dev")
@@ -163,14 +174,16 @@ func (o *OS) AddDevice(name string, n fs.Node) {
 
 // worker is one OS worker thread: it pulls tasks and runs them on a core
 // at kernel priority.
-func (o *OS) worker(p *sim.Proc) {
+func (o *OS) worker(p *sim.Proc, id int) {
 	for {
 		o.idleWorkers++
 		t := o.wq.Get(p)
 		o.idleWorkers--
+		start := o.E.Now()
 		o.CPU.Exec(p, o.cfg.TaskDispatch, cpu.PrioKernel)
 		o.TasksRun.Inc()
 		t.Run(p)
+		o.events.Span("kernel", t.Name, obs.PIDKernel, id, start, o.E.Now())
 	}
 }
 

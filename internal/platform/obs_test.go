@@ -1,0 +1,163 @@
+package platform_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"genesys/internal/core"
+	"genesys/internal/fs"
+	"genesys/internal/gpu"
+	"genesys/internal/obs"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+	"genesys/internal/syscalls"
+)
+
+// runBlockingWorkload drives a small kernel that issues blocking pwrites
+// through GENESYS, exercising the GPU, kernel-worker and syscall paths.
+func runBlockingWorkload(t *testing.T, m *platform.Machine, wait core.WaitMode) {
+	t.Helper()
+	pr := m.NewProcess("obs")
+	f, err := m.VFS.Open("/tmp/obs", fs.O_CREAT|fs.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := pr.FDs.Install(f)
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name: "obs", WorkGroups: 4, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				for i := 0; i < 2; i++ {
+					m.Genesys.InvokeWG(w, syscalls.Request{
+						NR:   syscalls.SYS_pwrite64,
+						Args: [6]uint64{uint64(fd), 16, uint64(32*w.WG.ID + 16*i)},
+						Buf:  make([]byte, 16),
+					}, core.Options{Blocking: true, Wait: wait,
+						Ordering: core.Relaxed, Kind: core.Consumer})
+				}
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsRegistryAndSysfs(t *testing.T) {
+	cfg := platform.DefaultConfig()
+	m := platform.New(cfg)
+	t.Cleanup(m.Shutdown)
+	runBlockingWorkload(t, m, core.WaitPoll)
+
+	snap := m.Obs.Metrics.Snapshot()
+	for _, name := range []string{
+		"genesys.invocations", "genesys.slot_conflicts", "gpu.resumes",
+		"gpu.interrupts", "oskern.tasks_run", "mem.atomic_ops",
+		"cpu.busy_ns", "blockdev.bytes_read", "netstack.sent", "vmm.free_pages",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+	}
+	if snap["genesys.invocations"] != 8 {
+		t.Fatalf("genesys.invocations = %d, want 8", snap["genesys.invocations"])
+	}
+	if snap["gpu.interrupts"] == 0 || snap["mem.atomic_ops"] == 0 {
+		t.Fatal("hot-path counters stayed zero")
+	}
+
+	// The registry is served at /sys/genesys/metrics...
+	data, err := m.ReadFile("/sys/genesys/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "genesys.slot_conflicts ") ||
+		!strings.Contains(out, "gpu.resumes ") {
+		t.Fatalf("metrics file misses required entries:\n%s", out)
+	}
+	// ...sorted.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("metrics not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+
+	// The legacy stats file now exports slot_conflicts too.
+	stats, err := m.ReadFile("/sys/genesys/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stats), "slot_conflicts ") {
+		t.Fatalf("stats file misses slot_conflicts:\n%s", stats)
+	}
+}
+
+func TestChromeTraceExportFromRun(t *testing.T) {
+	cfg := platform.DefaultConfig()
+	m := platform.New(cfg)
+	t.Cleanup(m.Shutdown)
+	m.Obs.Events.SetEnabled(true)
+	runBlockingWorkload(t, m, core.WaitHaltResume) // halt-resume → halt spans too
+
+	if m.Obs.Events.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if m.Obs.Events.Rejected() != 0 {
+		t.Fatalf("%d negative-duration spans rejected", m.Obs.Events.Rejected())
+	}
+
+	var buf bytes.Buffer
+	if err := m.Obs.Events.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	sawPID := map[int]bool{}
+	sawCat := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e.Dur < 0 || e.Ts < 0 {
+			t.Fatalf("negative ts/dur: %+v", e)
+		}
+		if e.Ph != "M" {
+			sawPID[e.PID] = true
+			sawCat[e.Cat] = true
+		}
+	}
+	for _, pid := range []int{obs.PIDGPU, obs.PIDKernel, obs.PIDSyscalls} {
+		if !sawPID[pid] {
+			t.Fatalf("no events from pid %d; pids seen: %v", pid, sawPID)
+		}
+	}
+	for _, cat := range []string{"gpu", "kernel", "syscall"} {
+		if !sawCat[cat] {
+			t.Fatalf("no %q events; cats seen: %v", cat, sawCat)
+		}
+	}
+	// Syscall life-cycle spans carry the paper's Figure 2 phase names.
+	var phases int
+	for _, e := range parsed.TraceEvents {
+		if e.Cat == "syscall" && e.Ph == "X" {
+			phases++
+		}
+	}
+	if phases < 8*4 { // 8 blocking calls × at least 4 spans each
+		t.Fatalf("only %d syscall phase spans", phases)
+	}
+}

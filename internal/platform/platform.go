@@ -14,6 +14,7 @@ import (
 	"genesys/internal/gpu"
 	"genesys/internal/mem"
 	"genesys/internal/netstack"
+	"genesys/internal/obs"
 	"genesys/internal/oskern"
 	"genesys/internal/sim"
 	"genesys/internal/vmm"
@@ -88,6 +89,11 @@ type Machine struct {
 	OS      *oskern.OS
 	Genesys *core.Genesys
 	FB      *fs.Framebuffer
+
+	// Obs is the machine's observability layer: the metrics registry
+	// every subsystem publishes into (served at /sys/genesys/metrics) and
+	// the structured event log (disabled until Obs.Events.SetEnabled).
+	Obs *obs.Observer
 }
 
 // New builds a machine: engine, substrates, kernel namespaces (/dev,
@@ -117,7 +123,74 @@ func New(cfg Config) *Machine {
 
 	m.OS.AttachGPU(m.GPU)
 	m.Genesys = core.New(e, m.GPU, m.OS, m.Mem, m.CPU, cfg.Genesys)
+	m.wireObservability(pool)
 	return m
+}
+
+// wireObservability builds the machine's Observer: every subsystem's
+// counters and gauges are published under "<subsystem>.<stat>" names,
+// the event log is attached to the GPU, kernel and GENESYS layers, and
+// the registry is served at /sys/genesys/metrics.
+func (m *Machine) wireObservability(pool *vmm.Pool) {
+	m.Obs = obs.New()
+	reg := m.Obs.Metrics
+
+	reg.RegisterCounter("gpu.kernels_launched", &m.GPU.KernelsLaunched)
+	reg.RegisterCounter("gpu.wgs_dispatched", &m.GPU.WGsDispatched)
+	reg.RegisterCounter("gpu.interrupts", &m.GPU.Interrupts)
+	reg.RegisterCounter("gpu.halts", &m.GPU.Halts)
+	reg.RegisterCounter("gpu.resumes", &m.GPU.Resumes)
+
+	reg.RegisterCounter("genesys.invocations", &m.Genesys.Invocations)
+	reg.RegisterCounter("genesys.batches", &m.Genesys.Batches)
+	reg.RegisterCounter("genesys.batched_waves", &m.Genesys.BatchedWaves)
+	reg.RegisterCounter("genesys.slot_conflicts", &m.Genesys.SlotConflicts)
+	reg.RegisterGauge("genesys.outstanding", func() int64 {
+		return int64(m.Genesys.Outstanding())
+	})
+
+	reg.RegisterCounter("oskern.tasks_run", &m.OS.TasksRun)
+	reg.RegisterCounter("oskern.syscalls", &m.OS.Syscalls)
+	reg.RegisterGauge("oskern.queue_depth", func() int64 {
+		return int64(m.OS.QueueDepth())
+	})
+	reg.RegisterGauge("oskern.workers", func() int64 {
+		return int64(m.OS.Workers())
+	})
+
+	reg.RegisterCounter("mem.dram_accesses", &m.Mem.DRAMAccesses)
+	reg.RegisterCounter("mem.l2_hits", &m.Mem.L2Hits)
+	reg.RegisterCounter("mem.l2_misses", &m.Mem.L2Misses)
+	reg.RegisterCounter("mem.atomic_ops", &m.Mem.AtomicOps)
+
+	reg.RegisterGauge("cpu.busy_ns", func() int64 {
+		return int64(m.CPU.BusyTotal())
+	})
+
+	reg.RegisterCounter("blockdev.bytes_read", &m.SSD.BytesRead)
+	reg.RegisterCounter("blockdev.bytes_written", &m.SSD.BytesWritten)
+	reg.RegisterCounter("blockdev.commands", &m.SSD.Commands)
+
+	reg.RegisterCounter("netstack.sent", &m.Net.Sent)
+	reg.RegisterCounter("netstack.dropped", &m.Net.Dropped)
+
+	reg.RegisterGauge("vmm.free_pages", func() int64 {
+		return int64(pool.Free())
+	})
+
+	ev := m.Obs.Events
+	ev.NameProcess(obs.PIDGPU, "gpu")
+	ev.NameProcess(obs.PIDKernel, "os-kernel")
+	ev.NameProcess(obs.PIDSyscalls, "genesys-syscalls")
+	m.GPU.SetEventLog(ev)
+	m.OS.SetEventLog(ev)
+	m.Genesys.SetEventLog(ev)
+
+	if m.OS.SysfsRoot != nil {
+		m.OS.SysfsRoot.Add("metrics", &fs.GenFile{Gen: func() []byte {
+			return []byte(reg.Render())
+		}})
+	}
 }
 
 // NewProcess creates a process and binds it as the GENESYS syscall

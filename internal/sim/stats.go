@@ -89,14 +89,26 @@ func (s *Series) Add(t Time, v float64) {
 	s.bins[idx] += v
 }
 
-// AddInterval spreads v uniformly over [t0, t1).
+// AddInterval spreads v uniformly over [t0, t1). Mass before t = 0 is
+// dropped, matching Add; the [0, t1) part keeps its proportional share.
 func (s *Series) AddInterval(t0, t1 Time, v float64) {
 	if t1 <= t0 {
 		s.Add(t0, v)
 		return
 	}
 	total := float64(t1 - t0)
-	for t := t0; t < t1; {
+	t := t0
+	if t < 0 {
+		// Clamp to zero: with a negative t, the bin-end computation
+		// (t/BinWidth truncates toward zero) produced a chunk straddling
+		// t = 0 whose entire mass — including the valid [0, binEnd)
+		// share — was discarded by Add.
+		if t1 <= 0 {
+			return
+		}
+		t = 0
+	}
+	for t < t1 {
 		binEnd := (t/s.BinWidth + 1) * s.BinWidth
 		if binEnd > t1 {
 			binEnd = t1
