@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"genesys/internal/experiments"
+	"genesys/internal/fault"
 	"genesys/internal/obs"
 	"genesys/internal/platform"
 	"genesys/internal/syscalls"
@@ -27,20 +28,23 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  genesys run [-runs N] [-seed S] [-trace FILE] [-metrics] <experiment|all> [...]
+  genesys run [-runs N] [-seed S] [-trace FILE] [-metrics] [-faults P] <experiment|all> [...]
   genesys list
   genesys classify
   genesys apps
   genesys platform
 
 run flags:
-  -trace FILE  write a Chrome trace-event JSON (chrome://tracing, Perfetto)
-               of the first simulated machine to FILE
-  -metrics     print each experiment's final metrics registry snapshot
-               (the /sys/genesys/metrics view)
+  -trace FILE   write a Chrome trace-event JSON (chrome://tracing, Perfetto)
+                of the first simulated machine to FILE
+  -metrics      print each experiment's final metrics registry snapshot
+                (the /sys/genesys/metrics view)
+  -faults P     arm fault injection with profile P on every machine built
+                (profiles: %v; -faults=help describes them)
+  -fault-rate R per-opportunity injection probability (default %.2f)
 
 experiments: %v
-`, experiments.IDs())
+`, fault.Profiles(), fault.DefaultRate, experiments.IDs())
 	os.Exit(2)
 }
 
@@ -74,12 +78,25 @@ func runCmd(args []string) {
 	seed := fs.Int64("seed", 1, "base seed")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the first machine to this file")
 	showMetrics := fs.Bool("metrics", false, "print the metrics registry snapshot after each experiment")
+	faults := fs.String("faults", "", "fault-injection profile to arm on every machine ('help' lists profiles)")
+	faultRate := fs.Float64("fault-rate", 0, "per-opportunity injection probability (0 = profile default)")
 	_ = fs.Parse(args)
+	if *faults == "help" {
+		fmt.Print(fault.ProfileHelp())
+		os.Exit(0)
+	}
+	if *faults != "" {
+		if _, err := fault.PlanFor(*faults, *faultRate); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n%s", err, fault.ProfileHelp())
+			os.Exit(1)
+		}
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
 		usage()
 	}
-	o := experiments.Options{Runs: *runs, BaseSeed: *seed}
+	o := experiments.Options{Runs: *runs, BaseSeed: *seed,
+		FaultProfile: *faults, FaultRate: *faultRate}
 
 	// Observe every machine the experiments build: event tracing is
 	// enabled on the first machine only (so the exported trace is one

@@ -6,7 +6,11 @@
 // concurrent pread requests drive the same device to ~170 MB/s.
 package blockdev
 
-import "genesys/internal/sim"
+import (
+	"genesys/internal/errno"
+	"genesys/internal/fault"
+	"genesys/internal/sim"
+)
 
 // Config describes an SSD.
 type Config struct {
@@ -35,12 +39,25 @@ type SSD struct {
 
 	chFree []sim.Time // per-channel next-free instant
 
+	inject *fault.Injector
+
 	BytesRead    sim.Counter
 	BytesWritten sim.Counter
 	Commands     sim.Counter
+	// Retries counts transiently-failed commands the device's firmware
+	// reissued (the block layer's retry-on-media-error behaviour).
+	Retries sim.Counter
 
 	trace *sim.Series // bytes transferred per trace bin
 }
+
+// SetInjector attaches the machine's fault injector: latency-spike
+// faults stretch one command's service time, io-error faults fail the
+// command (retried internally up to maxCmdRetries before EIO surfaces).
+func (d *SSD) SetInjector(in *fault.Injector) { d.inject = in }
+
+// maxCmdRetries bounds firmware-level reissues of a failed command.
+const maxCmdRetries = 2
 
 // New returns an SSD bound to e.
 func New(e *sim.Engine, cfg Config) *SSD {
@@ -61,45 +78,68 @@ func New(e *sim.Engine, cfg Config) *SSD {
 // Config returns the device configuration.
 func (d *SSD) Config() Config { return d.cfg }
 
-// transfer performs one command moving n bytes; the calling process waits
-// for channel queueing plus service time.
-func (d *SSD) transfer(p *sim.Proc, n int64) {
-	// Pick the earliest-free channel.
-	best := 0
-	for i := 1; i < len(d.chFree); i++ {
-		if d.chFree[i] < d.chFree[best] {
-			best = i
+// transfer performs one command moving n bytes; the calling process
+// waits for channel queueing plus service time. Injected latency spikes
+// stretch the service time; injected I/O errors fail the command, which
+// the device reissues up to maxCmdRetries times before surfacing EIO.
+func (d *SSD) transfer(p *sim.Proc, n int64) error {
+	for attempt := 0; ; attempt++ {
+		// Pick the earliest-free channel.
+		best := 0
+		for i := 1; i < len(d.chFree); i++ {
+			if d.chFree[i] < d.chFree[best] {
+				best = i
+			}
 		}
+		now := d.e.Now()
+		start := now
+		if d.chFree[best] > start {
+			start = d.chFree[best]
+		}
+		service := d.cfg.CommandOverhead + sim.Time(float64(n)/d.cfg.ChannelBandwidth)
+		if r, ok := d.inject.Fire(fault.BlockLatency); ok {
+			spike := sim.Time(r.Param)
+			if spike <= 0 {
+				spike = 500 * sim.Microsecond
+			}
+			service += spike
+		}
+		end := start + service
+		d.chFree[best] = end
+		d.Commands.Inc()
+		d.trace.AddInterval(start, end, float64(n))
+		p.Sleep(end - now)
+		if d.inject.Should(fault.BlockError) {
+			if attempt < maxCmdRetries {
+				d.Retries.Inc()
+				continue
+			}
+			d.inject.NoteSurfaced()
+			return errno.EIO
+		}
+		if attempt > 0 {
+			d.inject.NoteRecovered()
+		}
+		return nil
 	}
-	now := d.e.Now()
-	start := now
-	if d.chFree[best] > start {
-		start = d.chFree[best]
-	}
-	service := d.cfg.CommandOverhead + sim.Time(float64(n)/d.cfg.ChannelBandwidth)
-	end := start + service
-	d.chFree[best] = end
-	d.Commands.Inc()
-	d.trace.AddInterval(start, end, float64(n))
-	p.Sleep(end - now)
 }
 
 // Read transfers n bytes from the device into memory.
-func (d *SSD) Read(p *sim.Proc, n int64) {
+func (d *SSD) Read(p *sim.Proc, n int64) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	d.BytesRead.Add(n)
-	d.transfer(p, n)
+	return d.transfer(p, n)
 }
 
 // Write transfers n bytes from memory to the device.
-func (d *SSD) Write(p *sim.Proc, n int64) {
+func (d *SSD) Write(p *sim.Proc, n int64) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	d.BytesWritten.Add(n)
-	d.transfer(p, n)
+	return d.transfer(p, n)
 }
 
 // ThroughputTrace returns per-bin device throughput in MB/s.

@@ -34,6 +34,7 @@ import (
 
 	"genesys/internal/cpu"
 	"genesys/internal/errno"
+	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/gpu"
 	"genesys/internal/mem"
@@ -176,6 +177,17 @@ type Config struct {
 	// on a slot whose line holds other in-flight slots pays extra
 	// coherence round trips. Used to quantify why the paper pads.
 	PackedSlots bool
+
+	// RetransmitTimeout is how long ready slots of a wavefront may sit
+	// unprocessed before the doorbell interrupt is retransmitted; the
+	// watchdog only arms while fault injection is active. 0 selects a
+	// default.
+	RetransmitTimeout sim.Time
+	// MaxRetransmits bounds redelivery attempts per invocation; once
+	// exhausted the stale slots complete with EINTR so a lossy interrupt
+	// line degrades to a well-formed errno instead of a hang. 0 selects
+	// a default.
+	MaxRetransmits int
 }
 
 // DefaultConfig returns coalescing off and a 2 us poll interval.
@@ -212,8 +224,23 @@ type Genesys struct {
 	BatchedWaves  sim.Counter
 	SlotConflicts sim.Counter
 
+	// IRQRetransmits counts doorbell redeliveries by the watchdog;
+	// Retries counts syscall restarts (kernel-side here, user-side via
+	// gclib's restartable layer, which shares this counter).
+	IRQRetransmits sim.Counter
+	Retries        sim.Counter
+
+	inject *fault.Injector
+	retx   map[int]*retxState // armed retransmit watchdogs, by hw wave
+
 	tracer *Tracer
 	events *obs.EventLog
+}
+
+// retxState is one wavefront's retransmit watchdog.
+type retxState struct {
+	attempts int
+	sent     bool // a retransmission happened since the last clean check
 }
 
 // New installs GENESYS on a machine: it sizes the syscall area to the
@@ -238,6 +265,13 @@ func New(e *sim.Engine, dev *gpu.Device, os *oskern.OS, m *mem.System,
 		drainCond:   sim.NewCond(e),
 		pendingSet:  make(map[int]bool),
 		kernelProcs: make(map[*gpu.KernelRun]*oskern.Process),
+		retx:        make(map[int]*retxState),
+	}
+	if g.cfg.RetransmitTimeout <= 0 {
+		g.cfg.RetransmitTimeout = 500 * sim.Microsecond
+	}
+	if g.cfg.MaxRetransmits <= 0 {
+		g.cfg.MaxRetransmits = 32
 	}
 	for i := range g.slots {
 		g.slots[i].ID = i
@@ -286,6 +320,19 @@ func (g *Genesys) procFor(w *gpu.Wavefront) *oskern.Process {
 	}
 	return g.proc
 }
+
+// SetInjector attaches the machine's fault injector. The oskern-layer
+// pipeline faults (dropped doorbells, slot-scan skips) are consumed
+// here, where the interrupt handler and slot scan live.
+func (g *Genesys) SetInjector(in *fault.Injector) { g.inject = in }
+
+// Injector returns the attached fault injector (possibly nil).
+func (g *Genesys) Injector() *fault.Injector { return g.inject }
+
+// FaultsActive reports whether a fault plan is armed — the gate gclib's
+// restartable layer uses so the default path never retries and stays
+// bit-identical to a machine without the fault subsystem.
+func (g *Genesys) FaultsActive() bool { return g.inject.Active() }
 
 // Slot returns a copy of slot i (for tests and debugging).
 func (g *Genesys) Slot(i int) Slot { return g.slots[i] }
@@ -451,6 +498,7 @@ func (g *Genesys) noteCompleted() {
 func (g *Genesys) Invoke(w *gpu.Wavefront, req syscalls.Request, o Options) Result {
 	s := g.populateSlot(w, 0, req, o.Blocking)
 	w.Interrupt()
+	g.armRetransmit(w.HWSlot)
 	if !o.Blocking {
 		return Result{}
 	}
@@ -476,6 +524,7 @@ func (g *Genesys) InvokeEach(w *gpu.Wavefront, mk func(lane int) *syscalls.Reque
 		return nil
 	}
 	w.Interrupt()
+	g.armRetransmit(w.HWSlot)
 	if !o.Blocking {
 		return make([]Result, len(slots))
 	}
@@ -533,10 +582,82 @@ func (g *Genesys) Drain(p *sim.Proc) {
 
 // --- CPU side -------------------------------------------------------------
 
+// armRetransmit starts the interrupt-retransmission watchdog for a
+// wavefront that just rang the doorbell. Inactive injector → no timer,
+// so the default path's event schedule is untouched. A fresh invocation
+// on an already-watched wavefront resets the attempt budget.
+func (g *Genesys) armRetransmit(hw int) {
+	if !g.inject.Active() {
+		return
+	}
+	if st, ok := g.retx[hw]; ok {
+		st.attempts = 0
+		return
+	}
+	st := &retxState{}
+	g.retx[hw] = st
+	g.E.After(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(hw, st) })
+}
+
+// staleSlots returns the wavefront's slots still sitting in ready —
+// evidence its doorbell was lost or its batch scan skipped them.
+func (g *Genesys) staleSlots(hw int) []*Slot {
+	simd := g.GPU.Config().SIMDWidth
+	var stale []*Slot
+	for lane := 0; lane < simd; lane++ {
+		if s := &g.slots[hw*simd+lane]; s.State == SlotReady {
+			stale = append(stale, s)
+		}
+	}
+	return stale
+}
+
+// checkRetransmit is the watchdog tick: ready slots older than the
+// timeout get their interrupt redelivered; after MaxRetransmits the
+// stale slots complete with EINTR (blocking callers observe it and may
+// restart; non-blocking slots free so Drain cannot hang) — an injected
+// interrupt loss is either recovered or surfaced, never a silent stall.
+func (g *Genesys) checkRetransmit(hw int, st *retxState) {
+	stale := g.staleSlots(hw)
+	if len(stale) == 0 {
+		delete(g.retx, hw)
+		if st.sent {
+			g.inject.NoteRecovered()
+		}
+		return
+	}
+	if st.attempts >= g.cfg.MaxRetransmits {
+		delete(g.retx, hw)
+		now := g.E.Now()
+		for _, s := range stale {
+			s.Req.Ret, s.Req.Err = -1, errno.EINTR
+			s.trace.picked, s.trace.done = now, now
+			g.inject.NoteSurfaced()
+			if s.Blocking {
+				s.State = SlotFinished
+			} else {
+				s.State = SlotFree
+				g.finishTrace(s)
+				g.noteCompleted()
+			}
+		}
+		g.GPU.Resume(hw)
+		return
+	}
+	st.attempts++
+	st.sent = true
+	g.IRQRetransmits.Inc()
+	g.handleIRQ(hw)
+	g.E.After(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(hw, st) })
+}
+
 // handleIRQ receives wavefront interrupts (engine-callback context) and
 // applies interrupt coalescing (§V-B): interrupts arriving within
 // CoalesceWindow are batched, up to CoalesceMax, into one kernel task.
 func (g *Genesys) handleIRQ(hwWave int) {
+	if g.inject.Should(fault.IRQDrop) {
+		return // doorbell lost; the retransmit watchdog recovers it
+	}
 	if g.cfg.CoalesceWindow <= 0 || g.cfg.CoalesceMax <= 1 {
 		g.enqueueBatch([]int{hwWave})
 		return
@@ -603,6 +724,11 @@ func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
 			if s.State != SlotReady {
 				continue
 			}
+			if g.inject.Should(fault.SlotSkip) {
+				// Scan skipped a ready slot; the retransmit watchdog
+				// redelivers the wavefront's interrupt to recover it.
+				continue
+			}
 			owner := s.owner
 			if owner == nil {
 				owner = g.proc
@@ -621,6 +747,13 @@ func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
 			s.trace.picked = g.E.Now()
 			g.CPU.Exec(p, g.OS.Config().SyscallSoftware, cpu.PrioKernel)
 			syscalls.Dispatch(ctx, &s.Req)
+			if !s.Blocking && g.inject.Active() && transientErr(s.Req.Err) &&
+				syscalls.Restartable(s.Req.NR) {
+				// Kernel-side restart: a non-blocking call has no caller
+				// left to observe a transient failure, so the worker
+				// reissues it in place with backoff.
+				g.restartInPlace(p, ctx, s)
+			}
 			s.trace.done = g.E.Now()
 			if s.Blocking {
 				s.State = SlotFinished
@@ -632,5 +765,32 @@ func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
 		}
 		// Doorbell: wake the wavefront if it halted awaiting results.
 		g.GPU.Resume(hw)
+	}
+}
+
+// transientErr reports whether e is a restartable transient failure.
+func transientErr(e errno.Errno) bool {
+	return e == errno.EINTR || e == errno.EAGAIN || e == errno.ENOMEM
+}
+
+// restartInPlace retries a transiently-failed non-blocking request in
+// the worker, with capped exponential backoff in virtual time.
+func (g *Genesys) restartInPlace(p *sim.Proc, ctx *syscalls.Ctx, s *Slot) {
+	const maxRestarts = 4
+	backoff := 4 * sim.Microsecond
+	for attempt := 0; attempt < maxRestarts && transientErr(s.Req.Err); attempt++ {
+		g.Retries.Inc()
+		p.Sleep(backoff)
+		if backoff < 64*sim.Microsecond {
+			backoff *= 2
+		}
+		s.Req.Ret, s.Req.Err = 0, errno.OK
+		g.CPU.Exec(p, g.OS.Config().SyscallSoftware, cpu.PrioKernel)
+		syscalls.Dispatch(ctx, &s.Req)
+	}
+	if transientErr(s.Req.Err) {
+		g.inject.NoteSurfaced()
+	} else {
+		g.inject.NoteRecovered()
 	}
 }

@@ -317,6 +317,7 @@ func ByID(id string) (func(Options) *Table, bool) {
 		"fig16":     Fig16BMPDisplay,
 		"breakdown": Breakdown,
 		"ablation":  Ablation,
+		"chaos":     Chaos,
 	}
 	fn, ok := m[id]
 	return fn, ok
@@ -326,5 +327,5 @@ func ByID(id string) (func(Options) *Table, bool) {
 func IDs() []string {
 	return []string{"table2", "table3", "table4", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15",
-		"fig16", "breakdown", "ablation"}
+		"fig16", "breakdown", "ablation", "chaos"}
 }

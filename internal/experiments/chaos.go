@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"genesys/internal/obs"
+	"genesys/internal/sim"
+	"genesys/internal/workloads"
+)
+
+// chaosRates are the per-opportunity injection probabilities the sweep
+// visits for each profile.
+var chaosRates = []float64{0.05, 0.25}
+
+// Chaos sweeps the fault-injection profiles over the mixed-syscall chaos
+// workload and reports, per (profile, rate) cell: how many faults were
+// injected, how many the stack recovered transparently vs surfaced as
+// errnos, and how much the per-work-group latency distribution inflated
+// relative to the fault-free baseline. When the options already carry a
+// fault profile (genesys run -faults=<profile> chaos), only that profile
+// is swept.
+func Chaos(o Options) *Table {
+	t := &Table{
+		ID:    "chaos",
+		Title: "fault injection: recovery vs surfacing and latency inflation",
+		Note: "Each cell runs the mixed workload (SSD pread + tmpfs pwrite + UDP echo)\n" +
+			"under one fault profile. recovered = transparently retried/redelivered;\n" +
+			"surfaced = returned to the application as a well-formed errno. Latency is\n" +
+			"per-work-group end-to-end; inflation is p50 vs the fault-free baseline.",
+		Header: []string{"profile", "rate", "runtime (ms)", "p50 (us)", "p95 (us)",
+			"p99 (us)", "p50 infl", "injected", "recovered", "surfaced", "echo ok", "ops fail"},
+	}
+
+	profiles := []string{"interrupt-loss", "worker-stall", "transient-errno",
+		"ssd-degraded", "net-flaky", "all"}
+	if o.FaultProfile != "" {
+		profiles = []string{o.FaultProfile}
+	}
+	rates := chaosRates
+	if o.FaultRate > 0 {
+		rates = []float64{o.FaultRate}
+	}
+
+	type cell struct {
+		rt                            sim.Summary
+		hist                          *obs.Histogram
+		injected, recovered, surfaced sim.Summary
+		echoOK, opsFailed             sim.Summary
+	}
+	run := func(profile string, rate float64) cell {
+		cl := cell{hist: obs.NewHistogram()}
+		oo := o
+		oo.FaultProfile = profile
+		oo.FaultRate = rate
+		for i := 0; i < o.runs(); i++ {
+			m := newMachine(oo, o.BaseSeed+int64(i), nil)
+			res, err := workloads.RunChaos(m, workloads.DefaultChaosConfig())
+			if err != nil {
+				m.Shutdown()
+				panic(fmt.Sprint("chaos: ", err))
+			}
+			if !res.Validated {
+				m.Shutdown()
+				panic(fmt.Sprintf("chaos %s@%.2f: corrupt data survived recovery", profile, rate))
+			}
+			cl.rt.Add(res.Runtime.Milli())
+			cl.hist.Merge(res.Latency)
+			cl.injected.Add(float64(m.Inject.Injected.Value()))
+			cl.recovered.Add(float64(m.Inject.Recovered.Value()))
+			cl.surfaced.Add(float64(m.Inject.Surfaced.Value()))
+			cl.echoOK.Add(float64(res.EchoOK))
+			cl.opsFailed.Add(float64(res.OpsFailed))
+			m.Shutdown()
+		}
+		return cl
+	}
+
+	base := run("", 0)
+	baseQ := base.hist.Percentiles(50, 95, 99)
+	addRow := func(name, rate string, cl cell) {
+		q := cl.hist.Percentiles(50, 95, 99)
+		infl := "1.00x"
+		if baseQ[0] > 0 {
+			infl = fmt.Sprintf("%.2fx", q[0]/baseQ[0])
+		}
+		t.AddRow(name, rate, ms(&cl.rt),
+			fmt.Sprintf("%.0f", q[0]), fmt.Sprintf("%.0f", q[1]), fmt.Sprintf("%.0f", q[2]),
+			infl, f0(&cl.injected), f0(&cl.recovered), f0(&cl.surfaced),
+			f0(&cl.echoOK), f0(&cl.opsFailed))
+	}
+	addRow("baseline (no faults)", "-", base)
+	for _, p := range profiles {
+		for _, rate := range rates {
+			addRow(p, fmt.Sprintf("%.2f", rate), run(p, rate))
+		}
+	}
+	return t
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"genesys/internal/fault"
 	"genesys/internal/platform"
 	"genesys/internal/sim"
 )
@@ -24,6 +25,12 @@ type Options struct {
 	// builds, right after construction — the hook the CLI uses to enable
 	// event-log tracing and to read the metrics registry afterwards.
 	Observe func(*platform.Machine)
+
+	// FaultProfile, when non-empty, arms fault injection with the named
+	// profile (see fault.Profiles) on every machine built; FaultRate sets
+	// the per-opportunity injection probability (0 selects the default).
+	FaultProfile string
+	FaultRate    float64
 }
 
 // DefaultOptions returns 3 runs from seed 1.
@@ -97,6 +104,13 @@ func (t *Table) Render() string {
 func newMachine(o Options, seed int64, tweak func(*platform.Config)) *platform.Machine {
 	cfg := platform.DefaultConfig()
 	cfg.Seed = seed
+	if o.FaultProfile != "" {
+		plan, err := fault.PlanFor(o.FaultProfile, o.FaultRate)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Faults = &plan
+	}
 	if tweak != nil {
 		tweak(&cfg)
 	}

@@ -61,36 +61,43 @@ func (f *ssdFile) charge(io *IOCtx, n int) {
 }
 
 // fault brings the page range covering [off, off+n) into the cache,
-// merging contiguous uncached runs into single device commands.
-func (f *ssdFile) fault(io *IOCtx, off, n int64) {
+// merging contiguous uncached runs into single device commands. A device
+// error aborts the fault; already-fetched runs stay cached.
+func (f *ssdFile) fault(io *IOCtx, off, n int64) error {
 	if io == nil || io.P == nil || n <= 0 {
-		return
+		return nil
 	}
 	ps := f.fs.pageSize
 	first := off / ps
 	last := (off + n - 1) / ps
 	runStart := int64(-1)
-	flush := func(endExcl int64) {
+	flush := func(endExcl int64) error {
 		if runStart < 0 {
-			return
+			return nil
 		}
 		pages := endExcl - runStart
-		f.fs.dev.Read(io.P, pages*ps)
+		if err := f.fs.dev.Read(io.P, pages*ps); err != nil {
+			runStart = -1
+			return err
+		}
 		for pg := runStart; pg < endExcl; pg++ {
 			f.cached[pg] = true
 		}
 		runStart = -1
+		return nil
 	}
 	for pg := first; pg <= last; pg++ {
 		if f.cached[pg] {
-			flush(pg)
+			if err := flush(pg); err != nil {
+				return err
+			}
 			continue
 		}
 		if runStart < 0 {
 			runStart = pg
 		}
 	}
-	flush(last + 1)
+	return flush(last + 1)
 }
 
 func (f *ssdFile) ReadAt(io *IOCtx, b []byte, off int64) (int, error) {
@@ -101,7 +108,9 @@ func (f *ssdFile) ReadAt(io *IOCtx, b []byte, off int64) (int, error) {
 		return 0, nil
 	}
 	n := copy(b, f.data[off:])
-	f.fault(io, off, int64(n))
+	if err := f.fault(io, off, int64(n)); err != nil {
+		return 0, err
+	}
 	f.charge(io, n)
 	return n, nil
 }
@@ -123,7 +132,9 @@ func (f *ssdFile) WriteAt(io *IOCtx, b []byte, off int64) (int, error) {
 		for pg := first; pg <= last; pg++ {
 			f.cached[pg] = true
 		}
-		f.fs.dev.Write(io.P, int64(n))
+		if err := f.fs.dev.Write(io.P, int64(n)); err != nil {
+			return 0, err
+		}
 	}
 	f.charge(io, n)
 	return n, nil

@@ -23,6 +23,7 @@ import (
 	"genesys/internal/core"
 	"genesys/internal/errno"
 	"genesys/internal/gpu"
+	"genesys/internal/sim"
 	"genesys/internal/syscalls"
 	"genesys/internal/vmm"
 )
@@ -32,6 +33,66 @@ import (
 type C struct {
 	G    *core.Genesys
 	Wait core.WaitMode
+
+	// MaxRestarts bounds the library's SA_RESTART-style retry loop: a
+	// blocking call that returns a transient errno (EINTR/EAGAIN/ENOMEM)
+	// is reissued after a capped exponential backoff, provided the call is
+	// restartable (syscalls.Restartable) and fault injection is active on
+	// the machine — organic transient errnos (e.g. miniAMR's deliberate
+	// mmap-until-ENOMEM) are never retried, keeping baselines untouched.
+	// 0 selects the default (8); negative disables restarting.
+	MaxRestarts int
+}
+
+const (
+	defaultMaxRestarts  = 8
+	restartBackoffBase  = 4 * sim.Microsecond
+	restartBackoffLimit = 256 * sim.Microsecond
+)
+
+func (c C) maxRestarts() int {
+	if c.MaxRestarts < 0 {
+		return 0
+	}
+	if c.MaxRestarts == 0 {
+		return defaultMaxRestarts
+	}
+	return c.MaxRestarts
+}
+
+func transientErr(e errno.Errno) bool {
+	return e == errno.EINTR || e == errno.EAGAIN || e == errno.ENOMEM
+}
+
+// invoke issues one blocking call through the restartable-syscall layer:
+// transient failures of restartable calls are reissued with exponential
+// backoff in virtual time, up to MaxRestarts, while fault injection is
+// active. The last result — success or the surfaced errno — is returned.
+func (c C) invoke(w *gpu.Wavefront, req syscalls.Request) core.Result {
+	res := c.G.Invoke(w, req, core.Options{Blocking: true, Wait: c.Wait})
+	if !c.G.FaultsActive() || !syscalls.Restartable(req.NR) || !transientErr(res.Err) {
+		return res
+	}
+	if req.NR == syscalls.SYS_recvfrom && req.Args[2] > 0 {
+		// A receive timeout suppresses restarting, as SO_RCVTIMEO does
+		// under SA_RESTART: the caller's own resend logic must see EAGAIN.
+		return res
+	}
+	backoff := restartBackoffBase
+	for attempt := 0; attempt < c.maxRestarts(); attempt++ {
+		c.G.Retries.Inc()
+		w.P.Sleep(backoff)
+		if backoff < restartBackoffLimit {
+			backoff *= 2
+		}
+		res = c.G.Invoke(w, req, core.Options{Blocking: true, Wait: c.Wait})
+		if !transientErr(res.Err) {
+			c.G.Injector().NoteRecovered()
+			return res
+		}
+	}
+	c.G.Injector().NoteSurfaced()
+	return res
 }
 
 // collect runs one blocking call at work-group granularity with relaxed
@@ -57,7 +118,7 @@ func (c C) collectBuf(w *gpu.Wavefront, req syscalls.Request) (core.Result, []by
 	bufKey := key + "_buf"
 
 	if w.IsLeader() {
-		sh[key] = c.G.Invoke(w, req, core.Options{Blocking: true, Wait: c.Wait})
+		sh[key] = c.invoke(w, req)
 		sh[bufKey] = req.Buf
 	}
 	w.Barrier() // producer ordering's post-call barrier
@@ -346,6 +407,19 @@ func (c C) RecvFrom(w *gpu.Wavefront, fd int, buf []byte) (int, int, errno.Errno
 	return int(r.Ret), int(r.OutArgs[0]), r.Err
 }
 
+// RecvFromTimeout is RecvFrom with an SO_RCVTIMEO-style bound: it returns
+// EAGAIN if no datagram arrives within timeout. This is the escape hatch
+// request/response code needs on a lossy network, where the reply to a
+// dropped request would otherwise be awaited forever.
+func (c C) RecvFromTimeout(w *gpu.Wavefront, fd int, buf []byte, timeout sim.Time) (int, int, errno.Errno) {
+	r := c.collect(w, syscalls.Request{
+		NR:   syscalls.SYS_recvfrom,
+		Args: [6]uint64{uint64(fd), uint64(len(buf)), uint64(timeout)},
+		Buf:  buf,
+	})
+	return int(r.Ret), int(r.OutArgs[0]), r.Err
+}
+
 // --- device control -----------------------------------------------------------
 
 // Ioctl issues a device control command with an argument buffer.
@@ -392,9 +466,9 @@ func (c C) Nanosleep(w *gpu.Wavefront, d int64) errno.Errno {
 // WriteWF writes from this wavefront alone, with no group barriers (the
 // grep -l "report immediately" pattern). One lane invokes; blocking.
 func (c C) WriteWF(w *gpu.Wavefront, fd int, buf []byte) (int, errno.Errno) {
-	r := c.G.Invoke(w, syscalls.Request{
+	r := c.invoke(w, syscalls.Request{
 		NR: syscalls.SYS_write, Args: [6]uint64{uint64(fd), uint64(len(buf))}, Buf: buf,
-	}, core.Options{Blocking: true, Wait: c.Wait})
+	})
 	return int(r.Ret), r.Err
 }
 

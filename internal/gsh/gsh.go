@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"genesys/internal/errno"
+	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/gclib"
 	"genesys/internal/gpu"
@@ -78,6 +79,12 @@ var commands = map[string]command{
 	"grep": {"grep <word> <file...>", cmdGrep},
 	"stat": {"stat <path>", cmdStat},
 	"df":   {"df", cmdDf},
+}
+
+// help is registered in init: cmdHelp renders Usage, which reads the
+// commands map, and a literal entry would be an initialization cycle.
+func init() {
+	commands["help"] = command{"help", cmdHelp}
 }
 
 // CommandNames lists the available commands.
@@ -247,6 +254,13 @@ func cmdStat(s *Shell, w *gpu.Wavefront, args []string) error {
 		kind = "directory"
 	}
 	s.C.Printf(w, "  File: %s\n  Size: %d\n  Type: %s\n", path, size, kind)
+	return nil
+}
+
+func cmdHelp(s *Shell, w *gpu.Wavefront, args []string) error {
+	s.C.Printf(w, "gsh commands:\n%s", Usage())
+	s.C.Printf(w, "machine fault injection (see /sys/genesys/faults): %s\n",
+		strings.Join(fault.Profiles(), ", "))
 	return nil
 }
 

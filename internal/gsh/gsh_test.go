@@ -121,12 +121,29 @@ func TestEverythingRanOnTheGPU(t *testing.T) {
 	}
 }
 
+func TestHelpListsCommandsAndFaultProfiles(t *testing.T) {
+	s := newShell(t)
+	out, err := s.Run("help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ls <dir>", "grep <word> <file...>",
+		"interrupt-loss", "net-flaky", "/sys/genesys/faults"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestUsageAndNames(t *testing.T) {
 	names := CommandNames()
-	if len(names) != 6 || names[0] != "cat" {
+	if len(names) != 7 || names[0] != "cat" {
 		t.Fatalf("names = %v", names)
 	}
 	if !strings.Contains(Usage(), "grep <word> <file...>") {
 		t.Fatalf("usage:\n%s", Usage())
+	}
+	if !strings.Contains(Usage(), "help") {
+		t.Fatalf("usage lacks help:\n%s", Usage())
 	}
 }

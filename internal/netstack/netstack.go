@@ -7,6 +7,7 @@ package netstack
 
 import (
 	"genesys/internal/errno"
+	"genesys/internal/fault"
 	"genesys/internal/sim"
 )
 
@@ -45,9 +46,16 @@ type Stack struct {
 
 	nextEphemeral int
 
+	inject *fault.Injector
+
 	Sent    sim.Counter
 	Dropped sim.Counter
 }
+
+// SetInjector attaches the machine's fault injector: injected drops are
+// lost in flight, resets refuse sends with ECONNREFUSED, and eagain
+// faults fail sends as if the send buffer were full.
+func (s *Stack) SetInjector(in *fault.Injector) { s.inject = in }
 
 // New returns a stack bound to e.
 func New(e *sim.Engine, cfg Config) *Stack {
@@ -144,6 +152,13 @@ func (sk *Socket) SendTo(dstPort int, data []byte) error {
 	if err := sk.ensureBound(); err != nil {
 		return err
 	}
+	if sk.stack.inject.Should(fault.NetEAGAIN) {
+		return errno.EAGAIN // send buffer full; restartable callers retry
+	}
+	if sk.stack.inject.Should(fault.NetReset) {
+		sk.stack.inject.NoteSurfaced()
+		return errno.ECONNREFUSED // peer reset: surfaced, not retryable
+	}
 	st := sk.stack
 	payload := make([]byte, len(data))
 	copy(payload, data)
@@ -154,6 +169,10 @@ func (sk *Socket) SendTo(dstPort int, data []byte) error {
 	}
 	st.Sent.Inc()
 	st.e.After(delay, func() {
+		if st.inject.Should(fault.NetDrop) {
+			st.Dropped.Inc() // lost in flight
+			return
+		}
 		dst, ok := st.ports[dg.DstPort]
 		if !ok || !dst.open {
 			st.Dropped.Inc()
@@ -172,6 +191,37 @@ func (sk *Socket) RecvFrom(p *sim.Proc) (Datagram, error) {
 		return Datagram{}, errno.EBADF
 	}
 	return sk.recvQ.Get(p), nil
+}
+
+// recvPollInterval paces the RecvFromTimeout wait loop.
+const recvPollInterval = 5 * sim.Microsecond
+
+// RecvFromTimeout is RecvFrom bounded by d: it returns EAGAIN when no
+// datagram arrives before the deadline — the escape hatch applications
+// need on a lossy network, where a dropped request would otherwise
+// block the receiver forever. d <= 0 blocks indefinitely.
+func (sk *Socket) RecvFromTimeout(p *sim.Proc, d sim.Time) (Datagram, error) {
+	if !sk.open {
+		return Datagram{}, errno.EBADF
+	}
+	if d <= 0 {
+		return sk.recvQ.Get(p), nil
+	}
+	deadline := sk.stack.e.Now() + d
+	for {
+		if dg, ok := sk.recvQ.TryGet(); ok {
+			return dg, nil
+		}
+		now := sk.stack.e.Now()
+		if now >= deadline {
+			return Datagram{}, errno.EAGAIN
+		}
+		wait := deadline - now
+		if wait > recvPollInterval {
+			wait = recvPollInterval
+		}
+		p.Sleep(wait)
+	}
 }
 
 // TryRecv returns a queued datagram without blocking.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"genesys/internal/cpu"
+	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/gpu"
 	"genesys/internal/netstack"
@@ -37,6 +38,12 @@ type Config struct {
 	ContextSwitch   sim.Time // switching a worker into a process context
 	SyscallSoftware sim.Time // base in-kernel cost of one system call
 	FDLimit         int
+
+	// StallTimeout is how long a picked work-queue task may sit without
+	// starting execution before the stall detector re-dispatches it to
+	// another worker. Detection only arms while fault injection is
+	// active; 0 selects a default.
+	StallTimeout sim.Time
 }
 
 // DefaultConfig starts the pool at cores-1 (one core stays free for the
@@ -90,8 +97,19 @@ type OS struct {
 	// work-queue task (one trace-viewer thread per worker).
 	events *obs.EventLog
 
+	// Inject, when active, feeds the kernel's injection points (worker
+	// stalls here; irq drops and slot skips are consumed by the GENESYS
+	// layer, which names them for this subsystem). Dispatch also reads it
+	// for transient-errno injection.
+	Inject *fault.Injector
+
 	TasksRun sim.Counter
 	Syscalls sim.Counter
+	// Redispatches counts stalled tasks the detector handed to another
+	// worker; OrphansReaped counts stalled originals that woke to find
+	// their task already executed.
+	Redispatches sim.Counter
+	OrphansReaped sim.Counter
 }
 
 // New assembles a kernel over the given substrates and starts its worker
@@ -163,6 +181,16 @@ func (o *OS) AttachGPU(d *gpu.Device) { o.GPU = d }
 // SetEventLog attaches the machine's structured event log.
 func (o *OS) SetEventLog(l *obs.EventLog) { o.events = l }
 
+// SetInjector attaches the machine's fault injector.
+func (o *OS) SetInjector(in *fault.Injector) { o.Inject = in }
+
+func (o *OS) stallTimeout() sim.Time {
+	if o.cfg.StallTimeout > 0 {
+		return o.cfg.StallTimeout
+	}
+	return 750 * sim.Microsecond
+}
+
 // AddDevice registers a device node under /dev.
 func (o *OS) AddDevice(name string, n fs.Node) {
 	d, err := o.VFS.ResolveDir("/dev")
@@ -170,6 +198,49 @@ func (o *OS) AddDevice(name string, n fs.Node) {
 		panic("oskern: /dev missing")
 	}
 	d.Add(name, n)
+}
+
+// taskState tracks one picked task for the stall detector. The sim is
+// cooperative, so claim's check-and-set is race-free: whichever of the
+// original worker and the re-dispatch copy claims first runs the task,
+// the other skips it — a task never executes twice.
+type taskState struct {
+	executed     bool
+	redispatched bool
+}
+
+func (st *taskState) claim() bool {
+	if st.executed {
+		return false
+	}
+	st.executed = true
+	return true
+}
+
+// watchTask arms the stall detector for a picked task: if the task has
+// not started executing within StallTimeout (its worker is parked by an
+// injected stall), a fresh copy is re-dispatched to the pool. Returns
+// nil — arming nothing — when fault injection is inactive, keeping the
+// default path free of timer events.
+func (o *OS) watchTask(t Task) *taskState {
+	if !o.Inject.Active() {
+		return nil
+	}
+	st := &taskState{}
+	o.E.After(o.stallTimeout(), func() {
+		if st.executed || st.redispatched {
+			return
+		}
+		st.redispatched = true
+		o.Redispatches.Inc()
+		o.Inject.NoteRecovered()
+		o.Enqueue(Task{Name: t.Name + ":redispatch", Run: func(p *sim.Proc) {
+			if st.claim() {
+				t.Run(p)
+			}
+		}})
+	})
+	return st
 }
 
 // worker is one OS worker thread: it pulls tasks and runs them on a core
@@ -180,7 +251,23 @@ func (o *OS) worker(p *sim.Proc, id int) {
 		t := o.wq.Get(p)
 		o.idleWorkers--
 		start := o.E.Now()
+		st := o.watchTask(t)
 		o.CPU.Exec(p, o.cfg.TaskDispatch, cpu.PrioKernel)
+		if st != nil {
+			if r, ok := o.Inject.Fire(fault.WorkerStall); ok {
+				stall := sim.Time(r.Param)
+				if stall <= 0 {
+					stall = 2 * sim.Millisecond
+				}
+				p.Sleep(stall) // the worker is parked mid-dispatch
+			}
+			if !st.claim() {
+				// The stall detector re-dispatched this task while we
+				// were parked and the copy already ran it.
+				o.OrphansReaped.Inc()
+				continue
+			}
+		}
 		o.TasksRun.Inc()
 		t.Run(p)
 		o.events.Span("kernel", t.Name, obs.PIDKernel, id, start, o.E.Now())

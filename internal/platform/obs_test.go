@@ -58,9 +58,19 @@ func TestMetricsRegistryAndSysfs(t *testing.T) {
 		"genesys.invocations", "genesys.slot_conflicts", "gpu.resumes",
 		"gpu.interrupts", "oskern.tasks_run", "mem.atomic_ops",
 		"cpu.busy_ns", "blockdev.bytes_read", "netstack.sent", "vmm.free_pages",
+		"fault.injected", "fault.recovered", "fault.surfaced",
+		"genesys.retries", "genesys.irq_retransmits",
+		"oskern.redispatches", "blockdev.retries",
 	} {
 		if _, ok := snap[name]; !ok {
 			t.Fatalf("metric %q not registered", name)
+		}
+	}
+	// Fault counters register even on a fault-free machine — and stay 0.
+	for _, name := range []string{"fault.injected", "fault.recovered",
+		"fault.surfaced", "genesys.retries", "genesys.irq_retransmits"} {
+		if snap[name] != 0 {
+			t.Fatalf("fault-free machine has %s = %d", name, snap[name])
 		}
 	}
 	if snap["genesys.invocations"] != 8 {

@@ -10,6 +10,7 @@ import (
 	"genesys/internal/blockdev"
 	"genesys/internal/core"
 	"genesys/internal/cpu"
+	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/gpu"
 	"genesys/internal/mem"
@@ -32,6 +33,13 @@ type Config struct {
 	Net     netstack.Config
 	Genesys core.Config
 	FB      fs.VScreenInfo
+
+	// Faults, when non-nil, activates fault injection with the given
+	// plan. Nil (the default) builds a machine whose behaviour is
+	// bit-identical to one without the fault subsystem: the injector
+	// exists (so metrics always render) but fires nothing and no
+	// recovery machinery arms.
+	Faults *fault.Plan
 }
 
 // DefaultConfig mirrors the paper's FX-9800P platform (Table III): 4 CPU
@@ -90,6 +98,10 @@ type Machine struct {
 	Genesys *core.Genesys
 	FB      *fs.Framebuffer
 
+	// Inject is the machine's fault injector (always present; inert when
+	// Cfg.Faults is nil). Its plan view is served at /sys/genesys/faults.
+	Inject *fault.Injector
+
 	// Obs is the machine's observability layer: the metrics registry
 	// every subsystem publishes into (served at /sys/genesys/metrics) and
 	// the structured event log (disabled until Obs.Events.SetEnabled).
@@ -123,6 +135,22 @@ func New(cfg Config) *Machine {
 
 	m.OS.AttachGPU(m.GPU)
 	m.Genesys = core.New(e, m.GPU, m.OS, m.Mem, m.CPU, cfg.Genesys)
+
+	// The injector always exists (so its metrics register and
+	// /sys/genesys/faults renders) but has an empty plan — and therefore
+	// injects nothing and arms no recovery timers — unless Cfg.Faults is
+	// set. Its RNG stream is salted off the machine seed so enabling
+	// injection never perturbs the engine's own random stream.
+	plan := fault.Plan{}
+	if cfg.Faults != nil {
+		plan = *cfg.Faults
+	}
+	m.Inject = fault.NewInjector(e, cfg.Seed^0x5DEECE66D, plan)
+	m.Net.SetInjector(m.Inject)
+	m.SSD.SetInjector(m.Inject)
+	m.OS.SetInjector(m.Inject)
+	m.Genesys.SetInjector(m.Inject)
+
 	m.wireObservability(pool)
 	return m
 }
@@ -170,9 +198,18 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 	reg.RegisterCounter("blockdev.bytes_read", &m.SSD.BytesRead)
 	reg.RegisterCounter("blockdev.bytes_written", &m.SSD.BytesWritten)
 	reg.RegisterCounter("blockdev.commands", &m.SSD.Commands)
+	reg.RegisterCounter("blockdev.retries", &m.SSD.Retries)
 
 	reg.RegisterCounter("netstack.sent", &m.Net.Sent)
 	reg.RegisterCounter("netstack.dropped", &m.Net.Dropped)
+
+	reg.RegisterCounter("fault.injected", &m.Inject.Injected)
+	reg.RegisterCounter("fault.recovered", &m.Inject.Recovered)
+	reg.RegisterCounter("fault.surfaced", &m.Inject.Surfaced)
+	reg.RegisterCounter("genesys.retries", &m.Genesys.Retries)
+	reg.RegisterCounter("genesys.irq_retransmits", &m.Genesys.IRQRetransmits)
+	reg.RegisterCounter("oskern.redispatches", &m.OS.Redispatches)
+	reg.RegisterCounter("oskern.orphans_reaped", &m.OS.OrphansReaped)
 
 	reg.RegisterGauge("vmm.free_pages", func() int64 {
 		return int64(pool.Free())
@@ -189,6 +226,9 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 	if m.OS.SysfsRoot != nil {
 		m.OS.SysfsRoot.Add("metrics", &fs.GenFile{Gen: func() []byte {
 			return []byte(reg.Render())
+		}})
+		m.OS.SysfsRoot.Add("faults", &fs.GenFile{Gen: func() []byte {
+			return []byte(m.Inject.Render())
 		}})
 	}
 }

@@ -240,6 +240,53 @@ func ClassificationSummary() string {
 		n, r, pct(r), h, pct(h), x, pct(x), ImplementedCount())
 }
 
+// restartable marks the calls eligible for transparent restart after a
+// transient EINTR/EAGAIN/ENOMEM failure — the SA_RESTART-style
+// eligibility the gclib restartable-syscall layer and the kernel-side
+// non-blocking restart consult. Eligible: idempotent-at-retry I/O,
+// metadata and allocation calls. Excluded: calls whose side effect must
+// not repeat (close releases the descriptor even on failure; signal
+// sends would duplicate), and time/wait calls whose interval semantics a
+// blind restart would corrupt (nanosleep, poll, select, pause).
+var restartable = buildRestartable()
+
+func buildRestartable() map[int]bool {
+	eligible := []string{
+		// byte I/O: a failed attempt moved no data, so retrying is safe
+		"read", "write", "pread64", "pwrite64", "readv", "writev",
+		"preadv", "pwritev", "preadv2", "pwritev2", "sendfile",
+		// descriptor producers and file metadata
+		"open", "openat", "creat", "lseek", "stat", "fstat", "lstat",
+		"access", "getdents", "getdents64", "getcwd", "chdir",
+		"truncate", "ftruncate", "mkdir", "rmdir", "unlink", "rename",
+		"fsync", "fdatasync", "flock", "ioctl",
+		// sockets: datagram ops that failed delivered nothing
+		"socket", "bind", "connect", "accept", "accept4",
+		"sendto", "recvfrom", "sendmsg", "recvmsg", "sendmmsg", "recvmmsg",
+		// memory management: ENOMEM may clear as reclaim frees pages
+		"mmap", "munmap", "madvise", "mremap",
+		// queries
+		"getrusage", "getpid", "clock_gettime", "gettimeofday",
+	}
+	byName := make(map[string]int, len(classification))
+	for _, in := range classification {
+		byName[in.Name] = in.NR
+	}
+	out := make(map[int]bool, len(eligible))
+	for _, name := range eligible {
+		nr, ok := byName[name]
+		if !ok {
+			panic("syscalls: unknown restartable name " + name)
+		}
+		out[nr] = true
+	}
+	return out
+}
+
+// Restartable reports whether the system call nr may be transparently
+// reissued after a transient EINTR/EAGAIN/ENOMEM failure.
+func Restartable(nr int) bool { return restartable[nr] }
+
 // ByClass returns the names in a class, sorted.
 func ByClass(c Class) []string {
 	var out []string

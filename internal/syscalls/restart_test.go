@@ -1,0 +1,73 @@
+package syscalls
+
+import "testing"
+
+// nrOf resolves a syscall name through the classification table.
+func nrOf(t *testing.T, name string) int {
+	t.Helper()
+	in, ok := ClassifyName(name)
+	if !ok {
+		t.Fatalf("unknown syscall name %q", name)
+	}
+	return in.NR
+}
+
+func TestRestartable(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		// blocking I/O restarts transparently (SA_RESTART semantics)
+		{"read", true},
+		{"write", true},
+		{"pread64", true},
+		{"pwrite64", true},
+		{"open", true},
+		{"sendto", true},
+		{"recvfrom", true},
+		{"accept", true},
+		{"connect", true},
+		{"ioctl", true},
+		{"mmap", true},
+		{"madvise", true},
+		{"getrusage", true},
+		{"getdents64", true},
+		// close releases the fd even when it fails: never retry
+		{"close", false},
+		// signal delivery would duplicate on retry
+		{"rt_sigqueueinfo", false},
+		{"kill", false},
+		// interval semantics forbid a blind restart
+		{"nanosleep", false},
+		{"clock_nanosleep", false},
+		{"poll", false},
+		{"select", false},
+		{"pause", false},
+		{"epoll_wait", false},
+		{"rt_sigtimedwait", false},
+	}
+	for _, c := range cases {
+		if got := Restartable(nrOf(t, c.name)); got != c.want {
+			t.Errorf("Restartable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRestartableOutOfRange(t *testing.T) {
+	for _, nr := range []int{-1, 1 << 20} {
+		if Restartable(nr) {
+			t.Errorf("Restartable(%d) = true for unknown syscall", nr)
+		}
+	}
+}
+
+func TestRestartableSubsetOfImplementedBehaves(t *testing.T) {
+	// Every implemented-and-restartable call must be ClassReady: calls the
+	// paper rules out for GPU invocation can't be restarted from one.
+	for nr := range restartable {
+		if classification[nr].Class != ClassReady {
+			t.Errorf("%s restartable but class %v",
+				classification[nr].Name, classification[nr].Class)
+		}
+	}
+}

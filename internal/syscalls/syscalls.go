@@ -11,6 +11,7 @@ import (
 
 	"genesys/internal/cpu"
 	"genesys/internal/errno"
+	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/netstack"
 	"genesys/internal/oskern"
@@ -116,11 +117,30 @@ func Dispatch(c *Ctx, r *Request) {
 		return
 	}
 	c.OS.Syscalls.Inc()
+	if rule, hit := c.OS.Inject.Fire(fault.SyscallErrno); hit {
+		// Injected transient failure: the call fails before its handler
+		// runs, exactly as an interrupted or resource-starved kernel path
+		// would. Restartable callers (gclib, the non-blocking kernel-side
+		// restart) absorb it; others see a well-formed errno.
+		r.Ret, r.Err = -1, injectedErrno(c.OS.Inject, rule)
+		return
+	}
 	r.Err = errno.OK
 	h(c, r)
 	if r.Err != errno.OK {
 		r.Ret = -1
 	}
+}
+
+// injectedErrno picks the transient errno for a SyscallErrno injection:
+// the rule's Param if it names one, else a deterministic rotation over
+// EINTR / EAGAIN / ENOMEM.
+func injectedErrno(in *fault.Injector, rule fault.Rule) errno.Errno {
+	switch errno.Errno(rule.Param) {
+	case errno.EINTR, errno.EAGAIN, errno.ENOMEM:
+		return errno.Errno(rule.Param)
+	}
+	return [3]errno.Errno{errno.EINTR, errno.EAGAIN, errno.ENOMEM}[in.Pick(3)]
 }
 
 func fail(r *Request, err error) {
@@ -491,15 +511,17 @@ func sysSendto(c *Ctx, r *Request) {
 	r.Ret = int64(count)
 }
 
-// sysRecvfrom: Args = [fd, count]; the payload lands in Buf and the
-// source port in OutArgs[0]. Blocks until a datagram arrives.
+// sysRecvfrom: Args = [fd, count, timeout_ns]; the payload lands in Buf
+// and the source port in OutArgs[0]. Blocks until a datagram arrives, or
+// — when Args[2] carries a receive timeout (SO_RCVTIMEO-style) — fails
+// with EAGAIN at the deadline.
 func sysRecvfrom(c *Ctx, r *Request) {
 	sock, err := socketOf(c, int(int64(r.Args[0])))
 	if err != nil {
 		fail(r, err)
 		return
 	}
-	dg, err := sock.RecvFrom(c.P)
+	dg, err := sock.RecvFromTimeout(c.P, sim.Time(r.Args[2]))
 	if err != nil {
 		fail(r, err)
 		return
