@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"genesys/internal/core"
 	"genesys/internal/experiments"
 	"genesys/internal/fault"
 	"genesys/internal/obs"
@@ -28,7 +30,8 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  genesys run [-runs N] [-seed S] [-trace FILE] [-metrics] [-faults P] <experiment|all> [...]
+  genesys run [-runs N] [-seed S] [-trace FILE] [-metrics] [-critpath] [-faults P] <experiment|all> [...]
+  genesys bench [-seed S] [-out DIR] [case ...]
   genesys list
   genesys classify
   genesys apps
@@ -39,12 +42,18 @@ run flags:
                 of the first simulated machine to FILE
   -metrics      print each experiment's final metrics registry snapshot
                 (the /sys/genesys/metrics view)
+  -critpath     print the critical-path attribution table of the first
+                machine (the /sys/genesys/critpath view) after the runs
   -faults P     arm fault injection with profile P on every machine built
                 (profiles: %v; -faults=help describes them)
   -fault-rate R per-opportunity injection probability (default %.2f)
 
+bench: run the fixed deterministic perf suite, writing one
+BENCH_<case>.json per case (all cases when none are named).
+bench cases: %v
+
 experiments: %v
-`, fault.Profiles(), fault.DefaultRate, experiments.IDs())
+`, fault.Profiles(), fault.DefaultRate, experiments.BenchNames(), experiments.IDs())
 	os.Exit(2)
 }
 
@@ -55,6 +64,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		runCmd(os.Args[2:])
+	case "bench":
+		benchCmd(os.Args[2:])
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -78,6 +89,7 @@ func runCmd(args []string) {
 	seed := fs.Int64("seed", 1, "base seed")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the first machine to this file")
 	showMetrics := fs.Bool("metrics", false, "print the metrics registry snapshot after each experiment")
+	critpath := fs.Bool("critpath", false, "print the first machine's critical-path attribution table")
 	faults := fs.String("faults", "", "fault-injection profile to arm on every machine ('help' lists profiles)")
 	faultRate := fs.Float64("fault-rate", 0, "per-opportunity injection probability (0 = profile default)")
 	_ = fs.Parse(args)
@@ -104,10 +116,14 @@ func runCmd(args []string) {
 	// most recent machine backs -metrics.
 	var traceLog *obs.EventLog
 	var lastMetrics *obs.Registry
+	var firstGenesys *core.Genesys
 	o.Observe = func(m *platform.Machine) {
 		if *tracePath != "" && traceLog == nil {
 			m.Obs.Events.SetEnabled(true)
 			traceLog = m.Obs.Events
+		}
+		if firstGenesys == nil {
+			firstGenesys = m.Genesys
 		}
 		lastMetrics = m.Obs.Metrics
 	}
@@ -128,6 +144,14 @@ func runCmd(args []string) {
 			time.Since(start).Round(time.Millisecond), *runs)
 		if *showMetrics && lastMetrics != nil {
 			fmt.Printf("--- metrics (%s, last machine) ---\n%s\n", id, lastMetrics.Render())
+		}
+	}
+
+	if *critpath {
+		if firstGenesys == nil || firstGenesys.Tracer() == nil {
+			fmt.Fprintln(os.Stderr, "critpath: no traced machine")
+		} else {
+			fmt.Println(firstGenesys.Tracer().CritPath())
 		}
 	}
 
@@ -152,6 +176,33 @@ func runCmd(args []string) {
 		}
 		fmt.Printf("wrote %d event(s) to %s (%d dropped by ring buffer)\n",
 			traceLog.Len(), *tracePath, traceLog.Dropped())
+	}
+}
+
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "machine seed")
+	outDir := fs.String("out", ".", "directory the BENCH_<case>.json files are written to")
+	_ = fs.Parse(args)
+	names := fs.Args()
+	if len(names) == 0 {
+		names = experiments.BenchNames()
+	}
+	for _, name := range names {
+		start := time.Now()
+		res, err := experiments.RunBench(name, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, res.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-16s %6d calls  p50 %8.2fus  p99 %8.2fus  cpu %5.1f%%  -> %s (%v)\n",
+			name, res.Calls, res.P50US, res.P99US, res.CPUUtilPct, path,
+			time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -7,7 +7,7 @@
 //	gsh <command...>        # e.g.  gsh ls /tmp
 //	gsh demo                # runs a scripted tour
 //
-// Commands: cat, df, grep, ls, stat, wc.
+// Commands: cat, critpath, df, grep, ls, metrics, stat, util, wc.
 package main
 
 import (

@@ -9,6 +9,7 @@ package blockdev
 import (
 	"genesys/internal/errno"
 	"genesys/internal/fault"
+	"genesys/internal/obs"
 	"genesys/internal/sim"
 )
 
@@ -40,6 +41,7 @@ type SSD struct {
 	chFree []sim.Time // per-channel next-free instant
 
 	inject *fault.Injector
+	events *obs.EventLog
 
 	BytesRead    sim.Counter
 	BytesWritten sim.Counter
@@ -55,6 +57,11 @@ type SSD struct {
 // faults stretch one command's service time, io-error faults fail the
 // command (retried internally up to maxCmdRetries before EIO surfaces).
 func (d *SSD) SetInjector(in *fault.Injector) { d.inject = in }
+
+// SetEventLog attaches the machine's structured event log; each command
+// becomes a span on the channel it occupied (one trace-viewer thread per
+// NAND channel).
+func (d *SSD) SetEventLog(l *obs.EventLog) { d.events = l }
 
 // maxCmdRetries bounds firmware-level reissues of a failed command.
 const maxCmdRetries = 2
@@ -82,7 +89,7 @@ func (d *SSD) Config() Config { return d.cfg }
 // waits for channel queueing plus service time. Injected latency spikes
 // stretch the service time; injected I/O errors fail the command, which
 // the device reissues up to maxCmdRetries times before surfacing EIO.
-func (d *SSD) transfer(p *sim.Proc, n int64) error {
+func (d *SSD) transfer(p *sim.Proc, n int64, op string, trace uint64) error {
 	for attempt := 0; ; attempt++ {
 		// Pick the earliest-free channel.
 		best := 0
@@ -108,6 +115,14 @@ func (d *SSD) transfer(p *sim.Proc, n int64) error {
 		d.chFree[best] = end
 		d.Commands.Inc()
 		d.trace.AddInterval(start, end, float64(n))
+		if d.events.Enabled() {
+			fp := obs.FlowNone
+			if trace != 0 {
+				fp = obs.FlowStep
+			}
+			d.events.FlowSpan("blockdev", op, obs.PIDBlockdev, best,
+				start, end, trace, fp, op)
+		}
 		p.Sleep(end - now)
 		if d.inject.Should(fault.BlockError) {
 			if attempt < maxCmdRetries {
@@ -125,21 +140,29 @@ func (d *SSD) transfer(p *sim.Proc, n int64) error {
 }
 
 // Read transfers n bytes from the device into memory.
-func (d *SSD) Read(p *sim.Proc, n int64) error {
+func (d *SSD) Read(p *sim.Proc, n int64) error { return d.ReadTraced(p, n, 0) }
+
+// ReadTraced is Read with the transfer linked into causal flow chain
+// trace (0 disables linking).
+func (d *SSD) ReadTraced(p *sim.Proc, n int64, trace uint64) error {
 	if n <= 0 {
 		return nil
 	}
 	d.BytesRead.Add(n)
-	return d.transfer(p, n)
+	return d.transfer(p, n, "read", trace)
 }
 
 // Write transfers n bytes from memory to the device.
-func (d *SSD) Write(p *sim.Proc, n int64) error {
+func (d *SSD) Write(p *sim.Proc, n int64) error { return d.WriteTraced(p, n, 0) }
+
+// WriteTraced is Write with the transfer linked into causal flow chain
+// trace (0 disables linking).
+func (d *SSD) WriteTraced(p *sim.Proc, n int64, trace uint64) error {
 	if n <= 0 {
 		return nil
 	}
 	d.BytesWritten.Add(n)
-	return d.transfer(p, n)
+	return d.transfer(p, n, "write", trace)
 }
 
 // ThroughputTrace returns per-bin device throughput in MB/s.

@@ -233,8 +233,9 @@ type Genesys struct {
 	inject *fault.Injector
 	retx   map[int]*retxState // armed retransmit watchdogs, by hw wave
 
-	tracer *Tracer
-	events *obs.EventLog
+	tracer    *Tracer
+	events    *obs.EventLog
+	nextTrace uint64 // last assigned causal trace ID
 }
 
 // retxState is one wavefront's retransmit watchdog.
@@ -370,6 +371,12 @@ func (g *Genesys) registerSysfs() {
 			return nil
 		},
 	})
+	g.OS.SysfsRoot.Add("critpath", &fs.GenFile{Gen: func() []byte {
+		if g.tracer == nil {
+			return []byte("no tracer attached\n")
+		}
+		return []byte(g.tracer.CritPath())
+	}})
 	g.OS.SysfsRoot.Add("stats", &fs.GenFile{Gen: func() []byte {
 		return []byte(fmt.Sprintf(
 			"invocations %d\nbatches %d\nbatched_waves %d\nslot_conflicts %d\noutstanding %d\n",
@@ -403,7 +410,14 @@ func (g *Genesys) falseSharingPenalty(idx int) sim.Time {
 func (g *Genesys) populateSlot(w *gpu.Wavefront, lane int, req syscalls.Request, blocking bool) *Slot {
 	id := w.HWWorkItemID(lane)
 	s := &g.slots[id]
-	s.trace = callTrace{claim: g.E.Now()}
+	g.nextTrace++
+	s.trace = callTrace{
+		id:     g.nextTrace,
+		nr:     req.NR,
+		wave:   w.HWSlot,
+		worker: -1,
+		claim:  g.E.Now(),
+	}
 	s.owner = g.procFor(w)
 	for {
 		g.Mem.GPUAtomic(w.P, mem.OpCmpSwap, 0)
@@ -420,6 +434,7 @@ func (g *Genesys) populateSlot(w *gpu.Wavefront, lane int, req syscalls.Request,
 		w.P.Sleep(g.cfg.PollInterval)
 	}
 	req.Ret, req.Err = 0, errno.OK
+	req.Trace = s.trace.id
 	s.Req = req
 	s.Blocking = blocking
 	g.Mem.GPUWriteLine(w.P)
@@ -632,6 +647,7 @@ func (g *Genesys) checkRetransmit(hw int, st *retxState) {
 		for _, s := range stale {
 			s.Req.Ret, s.Req.Err = -1, errno.EINTR
 			s.trace.picked, s.trace.done = now, now
+			s.trace.aborted = true
 			g.inject.NoteSurfaced()
 			if s.Blocking {
 				s.State = SlotFinished
@@ -715,7 +731,8 @@ func (g *Genesys) enqueueBatch(waves []int) {
 // this batching: one task, one context switch, serialized processing.
 func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
 	var current *oskern.Process
-	ctx := &syscalls.Ctx{P: p, OS: g.OS}
+	ctx := &syscalls.Ctx{P: p, OS: g.OS, Events: g.events}
+	worker := g.OS.WorkerID(p)
 	simd := g.GPU.Config().SIMDWidth
 	for _, hw := range waves {
 		base := hw * simd
@@ -745,6 +762,7 @@ func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
 			}
 			s.State = SlotProcessing
 			s.trace.picked = g.E.Now()
+			s.trace.worker = worker
 			g.CPU.Exec(p, g.OS.Config().SyscallSoftware, cpu.PrioKernel)
 			syscalls.Dispatch(ctx, &s.Req)
 			if !s.Blocking && g.inject.Active() && transientErr(s.Req.Err) &&

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"genesys/internal/obs"
 	"genesys/internal/sim"
+	"genesys/internal/syscalls"
 )
 
 // Phase labels of one GPU system call's life cycle (paper Figure 2's
@@ -24,11 +26,25 @@ func Phases() []string {
 		PhaseProcessing, PhaseCompletion}
 }
 
-// callTrace records the per-call timestamps the tracer aggregates.
-// Every stamp is written unconditionally — stamping is free in virtual
-// time — so a tracer attached mid-run only ever sees fully-stamped
-// traces and never computes a negative phase from an unset (zero) field.
+// callTrace records the per-call timestamps the tracer aggregates, plus
+// the identity of the call: a machine-unique trace ID assigned at
+// slot-claim time (the causal flow ID in exported traces), the syscall
+// number, the hardware wavefront that issued it and the OS worker that
+// processed it. Every stamp is written unconditionally — stamping is
+// free in virtual time — so a tracer attached mid-run only ever sees
+// fully-stamped traces and never computes a negative phase from an
+// unset (zero) field.
 type callTrace struct {
+	id     uint64 // trace ID, assigned at slot claim
+	nr     int    // syscall number
+	wave   int    // issuing hardware wavefront slot
+	worker int    // OS worker that processed the call (-1 if none)
+
+	// aborted marks a call the retransmit watchdog gave up on (EINTR
+	// after MaxRetransmits): gpu-setup — and delivery, if the batch was
+	// ever enqueued — are stamped, the later phases never happened.
+	aborted bool
+
 	claim    sim.Time // claim attempt started (GPU)
 	ready    sim.Time // slot flipped to ready (GPU)
 	enqueued sim.Time // batch entered the workqueue (CPU irq path)
@@ -49,15 +65,29 @@ func (c callTrace) stamped() bool {
 		(c.harvest == 0 || c.done <= c.harvest)
 }
 
+// nrStat aggregates per-syscall-number statistics for the critical-path
+// table: call counts, per-phase latency sums and the end-to-end
+// histogram.
+type nrStat struct {
+	calls   int
+	aborted int
+	phase   []float64 // per-phase summed latency (us), Phases() order
+	totalUS float64
+	hist    *obs.Histogram
+}
+
 // Tracer aggregates per-phase latency histograms across traced system
 // calls. Attach with Genesys.SetTracer; it costs nothing in virtual
 // time. Each phase reports mean and p50/p95/p99 (Figure 2 / Table IV
-// style percentile breakdowns).
+// style percentile breakdowns); per-syscall-number stats feed the
+// critical-path attribution table (CritPath, /sys/genesys/critpath).
 type Tracer struct {
 	hist    map[string]*obs.Histogram
 	total   *obs.Histogram // end-to-end per-call latency
 	n       int
 	skipped int
+	aborted int
+	byNR    map[int]*nrStat
 }
 
 // NewTracer returns an empty tracer.
@@ -66,10 +96,35 @@ func NewTracer() *Tracer {
 	for _, ph := range Phases() {
 		m[ph] = obs.NewHistogram()
 	}
-	return &Tracer{hist: m, total: obs.NewHistogram()}
+	return &Tracer{hist: m, total: obs.NewHistogram(), byNR: make(map[int]*nrStat)}
+}
+
+func (t *Tracer) nrStatFor(nr int) *nrStat {
+	st, ok := t.byNR[nr]
+	if !ok {
+		st = &nrStat{phase: make([]float64, len(Phases())), hist: obs.NewHistogram()}
+		t.byNR[nr] = st
+	}
+	return st
 }
 
 func (t *Tracer) record(c callTrace) {
+	if c.aborted {
+		// The retransmit watchdog surfaced EINTR after MaxRetransmits:
+		// the call never reached a worker, so only the phases that
+		// actually happened are recorded — under an aborted count, not
+		// silently dropped.
+		t.aborted++
+		st := t.nrStatFor(c.nr)
+		st.aborted++
+		if c.ready >= c.claim && c.ready > 0 {
+			t.hist[PhaseGPUSetup].Add((c.ready - c.claim).Micro())
+		}
+		if c.enqueued >= c.ready && c.enqueued > 0 {
+			t.hist[PhaseDelivery].Add((c.enqueued - c.ready).Micro())
+		}
+		return
+	}
 	if !c.stamped() {
 		// Incompletely-stamped trace (defensive: should not happen now
 		// that stamping is unconditional) — never emit garbage samples.
@@ -80,12 +135,23 @@ func (t *Tracer) record(c callTrace) {
 		c.harvest = c.done // non-blocking: no harvest step
 	}
 	t.n++
-	t.hist[PhaseGPUSetup].Add((c.ready - c.claim).Micro())
-	t.hist[PhaseDelivery].Add((c.enqueued - c.ready).Micro())
-	t.hist[PhaseQueueing].Add((c.picked - c.enqueued).Micro())
-	t.hist[PhaseProcessing].Add((c.done - c.picked).Micro())
-	t.hist[PhaseCompletion].Add((c.harvest - c.done).Micro())
-	t.total.Add((c.harvest - c.claim).Micro())
+	samples := []float64{
+		(c.ready - c.claim).Micro(),
+		(c.enqueued - c.ready).Micro(),
+		(c.picked - c.enqueued).Micro(),
+		(c.done - c.picked).Micro(),
+		(c.harvest - c.done).Micro(),
+	}
+	st := t.nrStatFor(c.nr)
+	st.calls++
+	for i, ph := range Phases() {
+		t.hist[ph].Add(samples[i])
+		st.phase[i] += samples[i]
+	}
+	totalUS := (c.harvest - c.claim).Micro()
+	t.total.Add(totalUS)
+	st.totalUS += totalUS
+	st.hist.Add(totalUS)
 }
 
 // Calls returns how many system calls were traced.
@@ -94,6 +160,10 @@ func (t *Tracer) Calls() int { return t.n }
 // Skipped returns how many call traces were rejected for missing or
 // non-monotonic stamps.
 func (t *Tracer) Skipped() int { return t.skipped }
+
+// Aborted returns how many traced calls were aborted with EINTR by the
+// retransmit watchdog (fault paths).
+func (t *Tracer) Aborted() int { return t.aborted }
 
 // Phase returns the latency histogram (µs) of one phase.
 func (t *Tracer) Phase(name string) *obs.Histogram { return t.hist[name] }
@@ -131,10 +201,92 @@ func (t *Tracer) String() string {
 	q := t.total.Percentiles(50, 95, 99)
 	fmt.Fprintf(&b, "  %-11s %8.2f  %6s  %8.2f %8.2f %8.2f\n",
 		"total", total, "", q[0], q[1], q[2])
+	if t.aborted > 0 {
+		fmt.Fprintf(&b, "  (%d call(s) aborted with EINTR by the retransmit watchdog)\n", t.aborted)
+	}
 	if t.skipped > 0 {
 		fmt.Fprintf(&b, "  (%d incompletely-stamped trace(s) skipped)\n", t.skipped)
 	}
 	return b.String()
+}
+
+// CritPath renders the critical-path attribution table served at
+// /sys/genesys/critpath: per syscall number, end-to-end latency
+// percentiles, the dominant life-cycle stage, and the share of latency
+// each stage accounts for. The stages partition each call's end-to-end
+// latency exactly, so the attribution always covers 100% of the traced
+// time.
+func (t *Tracer) CritPath() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical-path attribution over %d traced call(s)", t.n)
+	if t.aborted > 0 {
+		fmt.Fprintf(&b, " (+%d aborted)", t.aborted)
+	}
+	b.WriteString(":\n")
+	if t.n == 0 && t.aborted == 0 {
+		b.WriteString("  no traced calls yet\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-16s %6s %5s %9s %9s %9s  %-11s", "syscall", "calls",
+		"abrt", "mean-us", "p95-us", "p99-us", "dominant")
+	for _, ph := range Phases() {
+		fmt.Fprintf(&b, " %7s", shortPhase(ph)+"%")
+	}
+	b.WriteString("\n")
+	nrs := make([]int, 0, len(t.byNR))
+	for nr := range t.byNR {
+		nrs = append(nrs, nr)
+	}
+	sort.Ints(nrs)
+	var sumPhases, sumTotal float64
+	for _, nr := range nrs {
+		st := t.byNR[nr]
+		fmt.Fprintf(&b, "  %-16s %6d %5d", syscalls.Name(nr), st.calls, st.aborted)
+		if st.calls == 0 {
+			b.WriteString("  (all aborted before processing)\n")
+			continue
+		}
+		q := st.hist.Percentiles(95, 99)
+		fmt.Fprintf(&b, " %9.2f %9.2f %9.2f", st.totalUS/float64(st.calls), q[0], q[1])
+		dom, domShare := 0, -1.0
+		for i := range st.phase {
+			if st.phase[i] > domShare {
+				dom, domShare = i, st.phase[i]
+			}
+			sumPhases += st.phase[i]
+		}
+		sumTotal += st.totalUS
+		fmt.Fprintf(&b, "  %-11s", Phases()[dom])
+		for i := range st.phase {
+			share := 0.0
+			if st.totalUS > 0 {
+				share = 100 * st.phase[i] / st.totalUS
+			}
+			fmt.Fprintf(&b, " %7.1f", share)
+		}
+		b.WriteString("\n")
+	}
+	if sumTotal > 0 {
+		fmt.Fprintf(&b, "  attributed %.1f%% of end-to-end latency to the %d named stages\n",
+			100*sumPhases/sumTotal, len(Phases()))
+	}
+	return b.String()
+}
+
+// shortPhase abbreviates a phase name for the attribution table header.
+func shortPhase(ph string) string {
+	switch ph {
+	case PhaseGPUSetup:
+		return "setup"
+	case PhaseDelivery:
+		return "deliv"
+	case PhaseQueueing:
+		return "queue"
+	case PhaseProcessing:
+		return "proc"
+	default:
+		return "compl"
+	}
 }
 
 // SetTracer attaches (or with nil, detaches) a latency tracer.
@@ -144,12 +296,15 @@ func (g *Genesys) SetTracer(t *Tracer) { g.tracer = t }
 func (g *Genesys) Tracer() *Tracer { return g.tracer }
 
 // SetEventLog attaches the machine's structured event log; completed
-// call traces are emitted as per-phase spans (one trace-viewer thread
-// per syscall slot).
+// call traces are emitted as flow-linked per-phase spans across the
+// layers the call crossed (GPU wave → IRQ → workqueue → worker →
+// completing slot).
 func (g *Genesys) SetEventLog(l *obs.EventLog) { g.events = l }
 
 // finishTrace routes one completed call trace to the attached tracer
-// and, when event logging is enabled, emits its life-cycle spans.
+// and, when event logging is enabled, emits its life-cycle spans, each
+// placed on the synthetic process/thread where that phase ran and
+// linked by the call's trace ID into one causal flow chain.
 func (g *Genesys) finishTrace(s *Slot) {
 	if g.tracer != nil {
 		g.tracer.record(s.trace)
@@ -158,14 +313,41 @@ func (g *Genesys) finishTrace(s *Slot) {
 		return
 	}
 	c := s.trace
+	name := syscalls.Name(c.nr)
+	if c.aborted {
+		// Aborted by the retransmit watchdog: emit the phases that
+		// happened plus a terminal marker on the slot's row.
+		g.events.FlowSpan("syscall", PhaseGPUSetup, obs.PIDGPU, c.wave,
+			c.claim, c.ready, c.id, obs.FlowStart, name)
+		if c.enqueued >= c.ready && c.enqueued > 0 {
+			g.events.FlowSpan("syscall", PhaseDelivery, obs.PIDIRQ, c.wave,
+				c.ready, c.enqueued, c.id, obs.FlowStep, name)
+		}
+		g.events.FlowSpan("syscall", "aborted(EINTR)", obs.PIDSyscalls, s.ID,
+			c.done, c.done, c.id, obs.FlowEnd, name)
+		return
+	}
 	if !c.stamped() {
 		return
 	}
-	g.events.Span("syscall", PhaseGPUSetup, obs.PIDSyscalls, s.ID, c.claim, c.ready)
-	g.events.Span("syscall", PhaseDelivery, obs.PIDSyscalls, s.ID, c.ready, c.enqueued)
-	g.events.Span("syscall", PhaseQueueing, obs.PIDSyscalls, s.ID, c.enqueued, c.picked)
-	g.events.Span("syscall", PhaseProcessing, obs.PIDSyscalls, s.ID, c.picked, c.done)
+	wtid := c.worker
+	if wtid < 0 {
+		wtid = 0
+	}
+	g.events.FlowSpan("syscall", PhaseGPUSetup, obs.PIDGPU, c.wave,
+		c.claim, c.ready, c.id, obs.FlowStart, name)
+	g.events.FlowSpan("syscall", PhaseDelivery, obs.PIDIRQ, c.wave,
+		c.ready, c.enqueued, c.id, obs.FlowStep, name)
+	g.events.FlowSpan("syscall", PhaseQueueing, obs.PIDWorkqueue, c.wave,
+		c.enqueued, c.picked, c.id, obs.FlowStep, name)
 	if c.harvest != 0 {
-		g.events.Span("syscall", PhaseCompletion, obs.PIDSyscalls, s.ID, c.done, c.harvest)
+		g.events.FlowSpan("syscall", PhaseProcessing, obs.PIDKernel, wtid,
+			c.picked, c.done, c.id, obs.FlowStep, name)
+		g.events.FlowSpan("syscall", PhaseCompletion, obs.PIDSyscalls, s.ID,
+			c.done, c.harvest, c.id, obs.FlowEnd, name)
+	} else {
+		// Non-blocking: no harvest step; the chain ends at processing.
+		g.events.FlowSpan("syscall", PhaseProcessing, obs.PIDKernel, wtid,
+			c.picked, c.done, c.id, obs.FlowEnd, name)
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"genesys/internal/core"
+	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/gpu"
+	"genesys/internal/platform"
 	"genesys/internal/sim"
 	"genesys/internal/syscalls"
 )
@@ -141,5 +143,63 @@ func TestTracerAttachMidRun(t *testing.T) {
 	}
 	if tr.Total().Min() < 0 {
 		t.Fatalf("negative end-to-end sample: %f", tr.Total().Min())
+	}
+}
+
+// TestTracerRecordsAbortedCalls: EINTR-aborted syscalls used to vanish
+// from the tracer entirely (finishTrace hit the incomplete-stamp guard
+// and counted them as "skipped"). They must instead land in Aborted(),
+// contribute their partial phases, and leave Skipped() at zero.
+func TestTracerRecordsAbortedCalls(t *testing.T) {
+	cfg := platform.DefaultConfig()
+	cfg.Seed = 11
+	cfg.Genesys.RetransmitTimeout = 50 * sim.Microsecond
+	cfg.Genesys.MaxRetransmits = 2
+	cfg.Faults = &fault.Plan{Name: "total-irq-loss", Rules: []fault.Rule{
+		{Point: fault.IRQDrop, Rate: 1},
+	}}
+	m := platform.New(cfg)
+	t.Cleanup(m.Shutdown)
+
+	tr := core.NewTracer()
+	m.Genesys.SetTracer(tr)
+	pr := m.NewProcess("abort")
+	f, _ := m.VFS.Open("/tmp/abort", fs.O_CREAT|fs.O_WRONLY)
+	fd, _ := pr.FDs.Install(f)
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name: "abort", WorkGroups: 4, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fd), 8, uint64(8 * w.WG.ID)},
+					Buf:  make([]byte, 8),
+				}, core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Relaxed, Kind: core.Consumer})
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if tr.Aborted() == 0 {
+		t.Fatal("total interrupt loss aborted nothing")
+	}
+	if tr.Skipped() != 0 {
+		t.Fatalf("%d aborted traces miscounted as skipped", tr.Skipped())
+	}
+	if tr.Calls() != 0 {
+		t.Fatalf("%d calls completed under total interrupt loss", tr.Calls())
+	}
+	// Partial phases: gpu-setup completed before the doorbell was lost.
+	if tr.Phase(core.PhaseGPUSetup).N() == 0 {
+		t.Fatal("aborted calls contributed no gpu-setup samples")
+	}
+	out := tr.String()
+	if !strings.Contains(out, "aborted") {
+		t.Fatalf("breakdown does not report aborts:\n%s", out)
 	}
 }

@@ -4,7 +4,10 @@
 // utilization traces (Figure 14).
 package cpu
 
-import "genesys/internal/sim"
+import (
+	"genesys/internal/obs"
+	"genesys/internal/sim"
+)
 
 // Scheduling priorities. Higher values are granted cores first.
 const (
@@ -34,6 +37,17 @@ type CPU struct {
 
 	util      *sim.Series // busy nanoseconds per bin, summed over cores
 	busyTotal sim.Time
+
+	// busy/waiting, when attached, integrate core occupancy and the
+	// number of threads queued for a core at each virtual instant.
+	busy    *obs.UtilTrack
+	waiting *obs.UtilTrack
+}
+
+// SetUtil attaches occupancy tracks: busy counts cores executing,
+// waiting counts threads queued on core acquisition.
+func (c *CPU) SetUtil(busy, waiting *obs.UtilTrack) {
+	c.busy, c.waiting = busy, waiting
 }
 
 // New returns a CPU bound to e.
@@ -71,10 +85,14 @@ func (c *CPU) Exec(p *sim.Proc, d sim.Time, prio int) {
 	if d <= 0 {
 		return
 	}
+	c.waiting.Add(c.e.Now(), 1)
 	c.cores.Acquire(p, prio)
 	start := c.e.Now()
+	c.waiting.Add(start, -1)
+	c.busy.Add(start, 1)
 	p.Sleep(d)
 	c.noteBusy(start, c.e.Now())
+	c.busy.Add(c.e.Now(), -1)
 	c.cores.Release()
 }
 

@@ -76,7 +76,7 @@ func (f *ssdFile) fault(io *IOCtx, off, n int64) error {
 			return nil
 		}
 		pages := endExcl - runStart
-		if err := f.fs.dev.Read(io.P, pages*ps); err != nil {
+		if err := f.fs.dev.ReadTraced(io.P, pages*ps, io.Trace); err != nil {
 			runStart = -1
 			return err
 		}
@@ -132,7 +132,7 @@ func (f *ssdFile) WriteAt(io *IOCtx, b []byte, off int64) (int, error) {
 		for pg := first; pg <= last; pg++ {
 			f.cached[pg] = true
 		}
-		if err := f.fs.dev.Write(io.P, int64(n)); err != nil {
+		if err := f.fs.dev.WriteTraced(io.P, int64(n), io.Trace); err != nil {
 			return 0, err
 		}
 	}

@@ -13,6 +13,7 @@ import (
 
 	"genesys/internal/cpu"
 	"genesys/internal/errno"
+	"genesys/internal/obs"
 	"genesys/internal/sim"
 )
 
@@ -25,6 +26,12 @@ type IOCtx struct {
 	P    *sim.Proc
 	CPU  *cpu.CPU
 	Prio int
+
+	// Events and Trace thread causal tracing through the I/O path: when
+	// set, device back-ends record their transfers as spans linked into
+	// the originating syscall's flow chain.
+	Events *obs.EventLog
+	Trace  uint64
 }
 
 // DefaultCopyBytesPerNS is the single-core memcpy bandwidth used for

@@ -84,6 +84,13 @@ type Device struct {
 	// spans and interrupt instants (one trace-viewer thread per HW slot).
 	events *obs.EventLog
 
+	// Utilization tracks (SetUtilTracks): active CUs, resident waves,
+	// halted waves, polling waves. All nil-safe.
+	utilCUs     *obs.UtilTrack
+	utilWaves   *obs.UtilTrack
+	utilHalted  *obs.UtilTrack
+	utilPolling *obs.UtilTrack
+
 	KernelsLaunched sim.Counter
 	WGsDispatched   sim.Counter
 	Interrupts      sim.Counter
@@ -95,6 +102,7 @@ type cu struct {
 	id        int
 	freeSlots []int // free hardware wavefront slot indices (LIFO)
 	pollers   int   // wavefronts currently spinning on the syscall area
+	resident  int   // wavefronts currently occupying slots
 }
 
 // New creates a GPU and starts its dispatcher daemon.
@@ -127,6 +135,13 @@ func (d *Device) SetIRQHandler(h IRQHandler) { d.irq = h }
 
 // SetEventLog attaches the machine's structured event log.
 func (d *Device) SetEventLog(l *obs.EventLog) { d.events = l }
+
+// SetUtilTracks attaches occupancy tracks: cus counts CUs with at least
+// one resident wavefront, waves counts resident wavefronts, halted and
+// polling count wavefronts in those wait states.
+func (d *Device) SetUtilTracks(cus, waves, halted, polling *obs.UtilTrack) {
+	d.utilCUs, d.utilWaves, d.utilHalted, d.utilPolling = cus, waves, halted, polling
+}
 
 // HWWorkItems returns the number of active hardware work-items the device
 // can host — the number of slots a GENESYS syscall area needs.
@@ -312,6 +327,11 @@ func (d *Device) startWG(kr *KernelRun, c *cu) {
 		}
 		d.hwWaves[slot] = w
 		wg.waves = append(wg.waves, w)
+		d.utilWaves.Add(d.e.Now(), 1)
+		c.resident++
+		if c.resident == 1 {
+			d.utilCUs.Add(d.e.Now(), 1)
+		}
 	}
 	for _, w := range wg.waves {
 		w := w
@@ -330,6 +350,11 @@ func (d *Device) waveDone(w *Wavefront) {
 	wg := w.WG
 	d.hwWaves[w.HWSlot] = nil
 	wg.cu.freeSlots = append(wg.cu.freeSlots, w.HWSlot)
+	d.utilWaves.Add(d.e.Now(), -1)
+	wg.cu.resident--
+	if wg.cu.resident == 0 {
+		d.utilCUs.Add(d.e.Now(), -1)
+	}
 	wg.doneWaves++
 	if wg.doneWaves == len(wg.waves) {
 		kr := wg.Run
@@ -433,12 +458,16 @@ func (w *Wavefront) ComputeTime(d sim.Time) {
 
 // BeginPoll marks the wavefront as actively polling; co-resident
 // wavefronts' compute slows until EndPoll.
-func (w *Wavefront) BeginPoll() { w.WG.cu.pollers++ }
+func (w *Wavefront) BeginPoll() {
+	w.WG.cu.pollers++
+	w.dev.utilPolling.Add(w.dev.e.Now(), 1)
+}
 
 // EndPoll clears the polling mark.
 func (w *Wavefront) EndPoll() {
 	if w.WG.cu.pollers > 0 {
 		w.WG.cu.pollers--
+		w.dev.utilPolling.Add(w.dev.e.Now(), -1)
 	}
 }
 
@@ -503,10 +532,12 @@ func (w *Wavefront) Halt() {
 	w.dev.Halts.Inc()
 	start := w.dev.e.Now()
 	w.halted = true
+	w.dev.utilHalted.Add(start, 1)
 	for w.halted {
 		w.resumeCond.Wait(w.P, fmt.Sprintf("halted wavefront hw%d", w.HWSlot))
 	}
 	w.P.Sleep(w.dev.cfg.ResumeLatency)
+	w.dev.utilHalted.Add(w.dev.e.Now(), -1)
 	w.dev.events.Span("gpu", "halt", obs.PIDGPU, w.HWSlot, start, w.dev.e.Now())
 }
 

@@ -73,12 +73,15 @@ type command struct {
 }
 
 var commands = map[string]command{
-	"ls":   {"ls <dir>", cmdLs},
-	"cat":  {"cat <file>", cmdCat},
-	"wc":   {"wc <file>", cmdWc},
-	"grep": {"grep <word> <file...>", cmdGrep},
-	"stat": {"stat <path>", cmdStat},
-	"df":   {"df", cmdDf},
+	"ls":       {"ls <dir>", cmdLs},
+	"cat":      {"cat <file>", cmdCat},
+	"wc":       {"wc <file>", cmdWc},
+	"grep":     {"grep <word> <file...>", cmdGrep},
+	"stat":     {"stat <path>", cmdStat},
+	"df":       {"df", cmdDf},
+	"metrics":  {"metrics", cmdMetrics},
+	"util":     {"util", cmdUtil},
+	"critpath": {"critpath", cmdCritpath},
 }
 
 // help is registered in init: cmdHelp renders Usage, which reads the
@@ -262,6 +265,37 @@ func cmdHelp(s *Shell, w *gpu.Wavefront, args []string) error {
 	s.C.Printf(w, "machine fault injection (see /sys/genesys/faults): %s\n",
 		strings.Join(fault.Profiles(), ", "))
 	return nil
+}
+
+// catSysfs prints one /sys/genesys view, fetched through the GPU
+// syscall path it describes. A single large read: the views are
+// regenerated on every read and grow as the shell's own syscalls are
+// traced, so chunked reads would tear the text mid-line.
+func catSysfs(s *Shell, w *gpu.Wavefront, path string) error {
+	fd, oerr := s.C.Open(w, path, fs.O_RDONLY)
+	if oerr != errno.OK {
+		return oerr
+	}
+	defer s.C.Close(w, fd)
+	buf := make([]byte, 1<<16)
+	n, rerr := s.C.Read(w, fd, buf)
+	if rerr != errno.OK {
+		return rerr
+	}
+	s.C.Write(w, 1, buf[:n])
+	return nil
+}
+
+func cmdMetrics(s *Shell, w *gpu.Wavefront, args []string) error {
+	return catSysfs(s, w, "/sys/genesys/metrics")
+}
+
+func cmdUtil(s *Shell, w *gpu.Wavefront, args []string) error {
+	return catSysfs(s, w, "/sys/genesys/util")
+}
+
+func cmdCritpath(s *Shell, w *gpu.Wavefront, args []string) error {
+	return catSysfs(s, w, "/sys/genesys/critpath")
 }
 
 func cmdDf(s *Shell, w *gpu.Wavefront, args []string) error {

@@ -135,9 +135,32 @@ func TestHelpListsCommandsAndFaultProfiles(t *testing.T) {
 	}
 }
 
+func TestObservabilityCommands(t *testing.T) {
+	s := newShell(t)
+	// Earlier commands populate the tracer and metrics the views render.
+	if _, err := s.Run("wc /tmp/poem.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run("metrics")
+	if err != nil || !strings.Contains(out, "genesys.invocations") {
+		t.Fatalf("metrics: %v\n%s", err, out)
+	}
+	out, err = s.Run("util")
+	if err != nil || !strings.Contains(out, "gpu.busy_cus") {
+		t.Fatalf("util: %v\n%s", err, out)
+	}
+	out, err = s.Run("critpath")
+	if err != nil || !strings.Contains(out, "critical-path attribution") {
+		t.Fatalf("critpath: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "read") || !strings.Contains(out, "open") {
+		t.Fatalf("critpath table lacks the reads the shell issued:\n%s", out)
+	}
+}
+
 func TestUsageAndNames(t *testing.T) {
 	names := CommandNames()
-	if len(names) != 7 || names[0] != "cat" {
+	if len(names) != 10 || names[0] != "cat" {
 		t.Fatalf("names = %v", names)
 	}
 	if !strings.Contains(Usage(), "grep <word> <file...>") {

@@ -8,6 +8,7 @@ package netstack
 import (
 	"genesys/internal/errno"
 	"genesys/internal/fault"
+	"genesys/internal/obs"
 	"genesys/internal/sim"
 )
 
@@ -47,9 +48,20 @@ type Stack struct {
 	nextEphemeral int
 
 	inject *fault.Injector
+	events *obs.EventLog
 
 	Sent    sim.Counter
 	Dropped sim.Counter
+}
+
+// SetEventLog attaches the machine's structured event log; every dropped
+// datagram becomes an instant on the destination port's timeline.
+func (s *Stack) SetEventLog(l *obs.EventLog) { s.events = l }
+
+// noteDrop counts a lost datagram and marks it in the event log.
+func (s *Stack) noteDrop(dg Datagram) {
+	s.Dropped.Inc()
+	s.events.Instant("netstack", "drop", obs.PIDNetstack, dg.DstPort, s.e.Now())
 }
 
 // SetInjector attaches the machine's fault injector: injected drops are
@@ -170,16 +182,16 @@ func (sk *Socket) SendTo(dstPort int, data []byte) error {
 	st.Sent.Inc()
 	st.e.After(delay, func() {
 		if st.inject.Should(fault.NetDrop) {
-			st.Dropped.Inc() // lost in flight
+			st.noteDrop(dg) // lost in flight
 			return
 		}
 		dst, ok := st.ports[dg.DstPort]
 		if !ok || !dst.open {
-			st.Dropped.Inc()
+			st.noteDrop(dg)
 			return
 		}
 		if !dst.recvQ.TryPut(dg) {
-			st.Dropped.Inc()
+			st.noteDrop(dg)
 		}
 	})
 	return nil

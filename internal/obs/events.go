@@ -8,32 +8,67 @@ import (
 	"genesys/internal/sim"
 )
 
-// Synthetic process IDs grouping event-log threads in trace viewers:
-// GPU wavefront activity, OS kernel workers, and GENESYS syscall slot
-// lifecycles each render as one "process" row group.
+// Synthetic process IDs grouping event-log threads in trace viewers.
+// The first three existed from the start: GPU wavefront activity, OS
+// kernel workers, and GENESYS syscall slot lifecycles. The rest split
+// the syscall life cycle across the hardware/software layers it crosses
+// — interrupt delivery, the kernel workqueue, the storage and network
+// back-ends — plus a process for utilization counter tracks, so one
+// traced call renders as a flow-linked arrow chain across "processes".
 const (
-	PIDGPU      = 1
-	PIDKernel   = 2
-	PIDSyscalls = 3
+	PIDGPU       = 1
+	PIDKernel    = 2
+	PIDSyscalls  = 3
+	PIDIRQ       = 4
+	PIDWorkqueue = 5
+	PIDBlockdev  = 6
+	PIDNetstack  = 7
+	PIDUtil      = 8
 )
 
-// EventKind distinguishes spans (duration events) from instants.
+// EventKind distinguishes spans (duration events) from instants and
+// counter samples.
 type EventKind uint8
 
 const (
 	KindSpan EventKind = iota
 	KindInstant
+	KindCounter
+)
+
+// FlowPhase marks an event's position in a causal flow chain (Chrome
+// trace flow events "s"/"t"/"f"). Events sharing a non-zero Flow ID and
+// carrying a FlowPhase are connected by arrows in trace viewers.
+type FlowPhase uint8
+
+const (
+	FlowNone FlowPhase = iota
+	FlowStart
+	FlowStep
+	FlowEnd
 )
 
 // Event is one structured event in virtual time. For spans, [Start, End]
-// is the duration; instants use only Start.
+// is the duration; instants use only Start; counters carry Value at
+// Start. A non-zero Flow links the event into a causal chain labelled
+// FlowName.
 type Event struct {
-	Kind EventKind
-	Cat  string // category, e.g. "gpu", "kernel", "syscall"
-	Name string
-	PID  int // synthetic process ID (PIDGPU, ...)
-	TID  int // thread within the group: HW slot, worker ID, slot ID
+	Kind       EventKind
+	Cat        string // category, e.g. "gpu", "kernel", "syscall"
+	Name       string
+	PID        int // synthetic process ID (PIDGPU, ...)
+	TID        int // thread within the group: HW slot, worker ID, slot ID
 	Start, End sim.Time
+
+	// Flow is the causal trace ID this event belongs to (0 = none);
+	// FlowPhase is its position in the chain and FlowName the chain's
+	// label (the syscall name).
+	Flow      uint64
+	FlowPhase FlowPhase
+	FlowName  string
+
+	// Value is the sample of a KindCounter event.
+	Value float64
 }
 
 // Dur returns the span duration (0 for instants).
@@ -53,13 +88,14 @@ const DefaultEventCap = 1 << 16
 // overwritten and counted as dropped. All methods are safe on a nil
 // receiver, so call sites need no guards.
 type EventLog struct {
-	enabled bool
-	buf     []Event
-	head    int   // next write position
-	total   int64 // events ever recorded
+	enabled  bool
+	buf      []Event
+	head     int   // next write position
+	total    int64 // events ever recorded
 	rejected int64 // spans refused for negative duration
 
-	procNames map[int]string
+	procNames   map[int]string
+	threadNames map[[2]int]string // (pid, tid) → name
 }
 
 // NewEventLog returns a disabled log holding up to capacity events
@@ -69,8 +105,9 @@ func NewEventLog(capacity int) *EventLog {
 		capacity = DefaultEventCap
 	}
 	return &EventLog{
-		buf:       make([]Event, 0, capacity),
-		procNames: make(map[int]string),
+		buf:         make([]Event, 0, capacity),
+		procNames:   make(map[int]string),
+		threadNames: make(map[[2]int]string),
 	}
 }
 
@@ -91,6 +128,14 @@ func (l *EventLog) NameProcess(pid int, name string) {
 	}
 }
 
+// NameThread labels one thread of a synthetic process in exported
+// traces (e.g. "kworker/3" or "cu2/wave17").
+func (l *EventLog) NameThread(pid, tid int, name string) {
+	if l != nil {
+		l.threadNames[[2]int{pid, tid}] = name
+	}
+}
+
 func (l *EventLog) push(e Event) {
 	l.total++
 	if len(l.buf) < cap(l.buf) {
@@ -105,6 +150,13 @@ func (l *EventLog) push(e Event) {
 // their start are rejected (and counted) rather than corrupting the
 // exported trace.
 func (l *EventLog) Span(cat, name string, pid, tid int, start, end sim.Time) {
+	l.FlowSpan(cat, name, pid, tid, start, end, 0, FlowNone, "")
+}
+
+// FlowSpan is Span with the event linked into causal flow chain `flow`
+// (0 disables linking) at position fp; flowName labels the chain.
+func (l *EventLog) FlowSpan(cat, name string, pid, tid int, start, end sim.Time,
+	flow uint64, fp FlowPhase, flowName string) {
 	if !l.Enabled() {
 		return
 	}
@@ -112,7 +164,8 @@ func (l *EventLog) Span(cat, name string, pid, tid int, start, end sim.Time) {
 		l.rejected++
 		return
 	}
-	l.push(Event{Kind: KindSpan, Cat: cat, Name: name, PID: pid, TID: tid, Start: start, End: end})
+	l.push(Event{Kind: KindSpan, Cat: cat, Name: name, PID: pid, TID: tid,
+		Start: start, End: end, Flow: flow, FlowPhase: fp, FlowName: flowName})
 }
 
 // Instant records a point event at time t.
@@ -121,6 +174,17 @@ func (l *EventLog) Instant(cat, name string, pid, tid int, t sim.Time) {
 		return
 	}
 	l.push(Event{Kind: KindInstant, Cat: cat, Name: name, PID: pid, TID: tid, Start: t})
+}
+
+// Counter records a counter-track sample (value v at time t); exported
+// as a Chrome "C" event, which trace viewers render as a filled
+// timeline.
+func (l *EventLog) Counter(cat, name string, pid, tid int, t sim.Time, v float64) {
+	if !l.Enabled() {
+		return
+	}
+	l.push(Event{Kind: KindCounter, Cat: cat, Name: name, PID: pid, TID: tid,
+		Start: t, Value: v})
 }
 
 // Len returns the number of retained events.
@@ -147,7 +211,9 @@ func (l *EventLog) Rejected() int64 {
 	return l.rejected
 }
 
-// Events returns the retained events, oldest first.
+// Events returns the retained events in push order. Spans are pushed at
+// their end time but carry their start time, so push order is NOT
+// start-time order; WriteChromeTrace sorts for export.
 func (l *EventLog) Events() []Event {
 	if l == nil {
 		return nil
@@ -159,7 +225,8 @@ func (l *EventLog) Events() []Event {
 }
 
 // chromeEvent is one entry of the Chrome trace-event JSON format
-// (ph "X" = complete span, "i" = instant, "M" = metadata).
+// (ph "X" = complete span, "i" = instant, "C" = counter, "M" =
+// metadata, "s"/"t"/"f" = flow start/step/end).
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -169,6 +236,8 @@ type chromeEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -180,7 +249,10 @@ type chromeTrace struct {
 
 // WriteChromeTrace serializes the retained events as Chrome trace-event
 // JSON, loadable in chrome://tracing and Perfetto. Timestamps are
-// virtual-time microseconds.
+// virtual-time microseconds. Events are emitted oldest-first (sorted by
+// start time — the ring holds spans in end-time push order), after the
+// process/thread naming metadata. Flow-linked spans additionally emit
+// the "s"/"t"/"f" flow events that draw the causal arrow chain.
 func (l *EventLog) WriteChromeTrace(w io.Writer) error {
 	var out chromeTrace
 	out.DisplayTimeUnit = "ms"
@@ -196,7 +268,30 @@ func (l *EventLog) WriteChromeTrace(w io.Writer) error {
 				Args: map[string]any{"name": l.procNames[pid]},
 			})
 		}
-		for _, e := range l.Events() {
+		tkeys := make([][2]int, 0, len(l.threadNames))
+		for k := range l.threadNames {
+			tkeys = append(tkeys, k)
+		}
+		sort.Slice(tkeys, func(i, j int) bool {
+			if tkeys[i][0] != tkeys[j][0] {
+				return tkeys[i][0] < tkeys[j][0]
+			}
+			return tkeys[i][1] < tkeys[j][1]
+		})
+		for _, k := range tkeys {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+				Args: map[string]any{"name": l.threadNames[k]},
+			})
+		}
+		evs := l.Events()
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].Start != evs[j].Start {
+				return evs[i].Start < evs[j].Start
+			}
+			return evs[i].End < evs[j].End
+		})
+		for _, e := range evs {
 			ce := chromeEvent{
 				Name: e.Name, Cat: e.Cat, Ts: e.Start.Micro(),
 				PID: e.PID, TID: e.TID,
@@ -205,11 +300,31 @@ func (l *EventLog) WriteChromeTrace(w io.Writer) error {
 			case KindSpan:
 				ce.Ph = "X"
 				ce.Dur = e.Dur().Micro()
+			case KindCounter:
+				ce.Ph = "C"
+				ce.Args = map[string]any{"value": e.Value}
 			default:
 				ce.Ph = "i"
 				ce.S = "t"
 			}
 			out.TraceEvents = append(out.TraceEvents, ce)
+			if e.Flow != 0 && e.FlowPhase != FlowNone {
+				fe := chromeEvent{
+					Name: e.FlowName, Cat: "flow", Ts: e.Start.Micro(),
+					PID: e.PID, TID: e.TID, ID: e.Flow,
+				}
+				switch e.FlowPhase {
+				case FlowStart:
+					fe.Ph = "s"
+				case FlowStep:
+					fe.Ph = "t"
+				default:
+					fe.Ph = "f"
+					fe.BP = "e"
+					fe.Ts = e.End.Micro()
+				}
+				out.TraceEvents = append(out.TraceEvents, fe)
+			}
 		}
 	}
 	enc := json.NewEncoder(w)

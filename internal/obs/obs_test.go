@@ -243,3 +243,56 @@ func TestHistogramMerge(t *testing.T) {
 		t.Fatal("empty render")
 	}
 }
+
+// TestChromeTraceExportAfterWrap is the wrap-around golden test: push
+// more spans than the ring holds, with deliberately out-of-order start
+// times, and check the export contains exactly the newest capacity
+// events, oldest-first and strictly time-ordered.
+func TestChromeTraceExportAfterWrap(t *testing.T) {
+	l := NewEventLog(4)
+	l.SetEnabled(true)
+	// 7 spans; starts are shuffled relative to push order because spans
+	// land in the ring at their END time. The ring keeps the last 4
+	// pushed: starts 90, 40, 60, 80 us.
+	starts := []sim.Time{10, 30, 20, 90, 40, 60, 80}
+	for i, s := range starts {
+		start := s * sim.Microsecond
+		l.Span("t", "s", 1, i, start, start+5*sim.Microsecond)
+	}
+	if l.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", l.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := l.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Ph string  `json:"ph"`
+			Ts float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var ts []float64
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ph != "X" {
+			t.Fatalf("unexpected event kind %q", e.Ph)
+		}
+		ts = append(ts, e.Ts)
+	}
+	want := []float64{40, 60, 80, 90} // survivors, sorted oldest-first
+	if len(ts) != len(want) {
+		t.Fatalf("exported %d spans, want %d (%v)", len(ts), len(want), ts)
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("export order %v, want %v", ts, want)
+		}
+	}
+}

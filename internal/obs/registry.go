@@ -119,14 +119,19 @@ func (r *Registry) Render() string {
 }
 
 // Observer bundles the per-machine observability state: the metrics
-// registry and the event log. platform.New creates one per Machine.
+// registry, the event log and the utilization-track registry.
+// platform.New creates one per Machine.
 type Observer struct {
 	Metrics *Registry
 	Events  *EventLog
+	Util    *Util
 }
 
-// New returns an Observer with an empty registry and a disabled event
-// log of the default capacity.
+// New returns an Observer with an empty registry, a disabled event log
+// of the default capacity, and an empty utilization registry wired to
+// mirror counter samples into the event log.
 func New() *Observer {
-	return &Observer{Metrics: NewRegistry(), Events: NewEventLog(0)}
+	o := &Observer{Metrics: NewRegistry(), Events: NewEventLog(0), Util: NewUtil(0)}
+	o.Util.SetEventLog(o.Events)
+	return o
 }

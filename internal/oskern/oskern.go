@@ -93,9 +93,18 @@ type OS struct {
 	workers     int // workers spawned
 	idleWorkers int // workers blocked on an empty queue
 
+	// workerProc maps a worker's sim process to its worker ID, so layers
+	// running inside a worker (GENESYS batch processing) can attribute
+	// their work to a trace-viewer thread.
+	workerProc map[*sim.Proc]int
+
 	// events, when attached and enabled, receives one span per executed
 	// work-queue task (one trace-viewer thread per worker).
 	events *obs.EventLog
+
+	// busyWorkers, when attached, integrates how many workers are
+	// executing a task at each virtual instant.
+	busyWorkers *obs.UtilTrack
 
 	// Inject, when active, feeds the kernel's injection points (worker
 	// stalls here; irq drops and slot skips are consumed by the GENESYS
@@ -127,9 +136,10 @@ func New(e *sim.Engine, c *cpu.CPU, v *fs.VFS, net *netstack.Stack,
 		Pool:    pool,
 		cfg:     cfg,
 		vmCfg:   vmCfg,
-		procs:   make(map[int]*Process),
-		nextPID: 1,
-		wq:      sim.NewQueue[Task](e, "kernel-workqueue", 0),
+		procs:      make(map[int]*Process),
+		nextPID:    1,
+		wq:         sim.NewQueue[Task](e, "kernel-workqueue", 0),
+		workerProc: make(map[*sim.Proc]int),
 	}
 	if os.cfg.MaxWorkers < os.cfg.Workers {
 		os.cfg.MaxWorkers = os.cfg.Workers
@@ -144,9 +154,20 @@ func New(e *sim.Engine, c *cpu.CPU, v *fs.VFS, net *netstack.Stack,
 func (o *OS) spawnWorker() {
 	id := o.workers
 	o.workers++
-	o.E.SpawnDaemon(fmt.Sprintf("kworker/%d", id), func(p *sim.Proc) {
+	p := o.E.SpawnDaemon(fmt.Sprintf("kworker/%d", id), func(p *sim.Proc) {
 		o.worker(p, id)
 	})
+	o.workerProc[p] = id
+	o.events.NameThread(obs.PIDKernel, id, fmt.Sprintf("kworker/%d", id))
+}
+
+// WorkerID returns the pool index of the worker running as sim process
+// p, or -1 when p is not a worker.
+func (o *OS) WorkerID(p *sim.Proc) int {
+	if id, ok := o.workerProc[p]; ok {
+		return id
+	}
+	return -1
 }
 
 // Workers returns the current worker-pool size.
@@ -178,8 +199,17 @@ func (o *OS) setupNamespaces() {
 // RUSAGE_GPU) can report accelerator usage.
 func (o *OS) AttachGPU(d *gpu.Device) { o.GPU = d }
 
-// SetEventLog attaches the machine's structured event log.
-func (o *OS) SetEventLog(l *obs.EventLog) { o.events = l }
+// SetEventLog attaches the machine's structured event log and labels the
+// already-spawned worker threads in it.
+func (o *OS) SetEventLog(l *obs.EventLog) {
+	o.events = l
+	for id := 0; id < o.workers; id++ {
+		l.NameThread(obs.PIDKernel, id, fmt.Sprintf("kworker/%d", id))
+	}
+}
+
+// SetUtil attaches the busy-worker occupancy track.
+func (o *OS) SetUtil(busy *obs.UtilTrack) { o.busyWorkers = busy }
 
 // SetInjector attaches the machine's fault injector.
 func (o *OS) SetInjector(in *fault.Injector) { o.Inject = in }
@@ -269,7 +299,9 @@ func (o *OS) worker(p *sim.Proc, id int) {
 			}
 		}
 		o.TasksRun.Inc()
+		o.busyWorkers.Add(o.E.Now(), 1)
 		t.Run(p)
+		o.busyWorkers.Add(o.E.Now(), -1)
 		o.events.Span("kernel", t.Name, obs.PIDKernel, id, start, o.E.Now())
 	}
 }

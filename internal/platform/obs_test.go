@@ -3,6 +3,7 @@ package platform_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -169,5 +170,102 @@ func TestChromeTraceExportFromRun(t *testing.T) {
 	}
 	if phases < 8*4 { // 8 blocking calls × at least 4 spans each
 		t.Fatalf("only %d syscall phase spans", phases)
+	}
+}
+
+// TestFlowLinkedSyscallChain is the causal-tracing acceptance test: a
+// traced blocking run must export, for at least one syscall, a flow
+// chain ("s" start … "t" steps … "f" end, same flow id) whose member
+// events span the GPU, IRQ, workqueue, kernel-worker and completion
+// timelines — the arrow chain one syscall draws across rows in
+// chrome://tracing.
+func TestFlowLinkedSyscallChain(t *testing.T) {
+	cfg := platform.DefaultConfig()
+	m := platform.New(cfg)
+	t.Cleanup(m.Shutdown)
+	m.Obs.Events.SetEnabled(true)
+	runBlockingWorkload(t, m, core.WaitHaltResume)
+
+	var buf bytes.Buffer
+	if err := m.Obs.Events.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID int    `json:"pid"`
+			ID  uint64 `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	type chain struct {
+		start, end bool
+		pids       map[int]bool
+	}
+	chains := map[uint64]*chain{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph != "s" && e.Ph != "t" && e.Ph != "f" {
+			continue
+		}
+		c := chains[e.ID]
+		if c == nil {
+			c = &chain{pids: map[int]bool{}}
+			chains[e.ID] = c
+		}
+		c.pids[e.PID] = true
+		if e.Ph == "s" {
+			c.start = true
+		}
+		if e.Ph == "f" {
+			c.end = true
+		}
+	}
+	if len(chains) == 0 {
+		t.Fatal("trace contains no flow events at all")
+	}
+	want := []int{obs.PIDGPU, obs.PIDIRQ, obs.PIDWorkqueue,
+		obs.PIDKernel, obs.PIDSyscalls}
+	var full int
+	for _, c := range chains {
+		if !c.start || !c.end {
+			continue
+		}
+		ok := true
+		for _, pid := range want {
+			if !c.pids[pid] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no flow chain crosses all of pids %v; %d chains seen", want, len(chains))
+	}
+
+	// The critpath view attributes (essentially) all end-to-end latency
+	// to the five named stages.
+	data, err := m.ReadFile("/sys/genesys/critpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	i := strings.Index(out, "attributed ")
+	if i < 0 {
+		t.Fatalf("critpath lacks attribution footer:\n%s", out)
+	}
+	var pct float64
+	if _, err := fmt.Sscanf(out[i:], "attributed %f%%", &pct); err != nil {
+		t.Fatalf("unparseable attribution %q: %v", out[i:], err)
+	}
+	if pct < 95 {
+		t.Fatalf("only %.1f%% of latency attributed, want >= 95%%:\n%s", pct, out)
+	}
+	if !strings.Contains(out, "pwrite64") {
+		t.Fatalf("critpath table lacks pwrite64 row:\n%s", out)
 	}
 }

@@ -216,12 +216,45 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 	})
 
 	ev := m.Obs.Events
+	reg.RegisterGauge("obs.events_dropped", ev.Dropped)
+	reg.RegisterGauge("obs.events_rejected", ev.Rejected)
 	ev.NameProcess(obs.PIDGPU, "gpu")
 	ev.NameProcess(obs.PIDKernel, "os-kernel")
 	ev.NameProcess(obs.PIDSyscalls, "genesys-syscalls")
+	ev.NameProcess(obs.PIDIRQ, "irq")
+	ev.NameProcess(obs.PIDWorkqueue, "workqueue")
+	ev.NameProcess(obs.PIDBlockdev, "blockdev")
+	ev.NameProcess(obs.PIDNetstack, "netstack")
+	ev.NameProcess(obs.PIDUtil, "utilization")
+	wavesPerCU := m.Cfg.GPU.WavefrontsPerCU
+	for slot := 0; slot < m.GPU.HWWavefronts(); slot++ {
+		ev.NameThread(obs.PIDGPU, slot,
+			fmt.Sprintf("cu%d/wave%d", slot/wavesPerCU, slot%wavesPerCU))
+	}
 	m.GPU.SetEventLog(ev)
 	m.OS.SetEventLog(ev)
 	m.Genesys.SetEventLog(ev)
+	m.SSD.SetEventLog(ev)
+	m.Net.SetEventLog(ev)
+
+	// Utilization timelines (§VII's parallelism-vs-coalescing evidence):
+	// capped tracks report percent-of-capacity; uncapped ones (waiting
+	// threads, busy workers — the pool grows on demand) scale to their
+	// own peak.
+	util := m.Obs.Util
+	m.CPU.SetUtil(
+		util.Track("cpu.busy_cores", m.Cfg.CPU.Cores),
+		util.Track("cpu.runnable_waiting", 0))
+	m.OS.SetUtil(util.Track("oskern.busy_workers", 0))
+	m.GPU.SetUtilTracks(
+		util.Track("gpu.busy_cus", m.Cfg.GPU.CUs),
+		util.Track("gpu.resident_waves", m.GPU.HWWavefronts()),
+		util.Track("gpu.halted_waves", 0),
+		util.Track("gpu.polling_waves", 0))
+
+	// A tracer is attached by default so /sys/genesys/critpath always
+	// renders; tests and experiments may replace it.
+	m.Genesys.SetTracer(core.NewTracer())
 
 	if m.OS.SysfsRoot != nil {
 		m.OS.SysfsRoot.Add("metrics", &fs.GenFile{Gen: func() []byte {
@@ -229,6 +262,9 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 		}})
 		m.OS.SysfsRoot.Add("faults", &fs.GenFile{Gen: func() []byte {
 			return []byte(m.Inject.Render())
+		}})
+		m.OS.SysfsRoot.Add("util", &fs.GenFile{Gen: func() []byte {
+			return []byte(util.Render(m.E.Now()))
 		}})
 	}
 }

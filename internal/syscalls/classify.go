@@ -202,6 +202,15 @@ func Classification() []Info {
 	return out
 }
 
+// Name returns the name of system call nr ("sys_<nr>" for numbers
+// outside the classified table).
+func Name(nr int) string {
+	if nr >= 0 && nr < len(classification) {
+		return classification[nr].Name
+	}
+	return fmt.Sprintf("sys_%d", nr)
+}
+
 // ClassifyName returns the classification of a syscall by name.
 func ClassifyName(name string) (Info, bool) {
 	for _, in := range classification {

@@ -14,6 +14,7 @@ import (
 	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/netstack"
+	"genesys/internal/obs"
 	"genesys/internal/oskern"
 	"genesys/internal/sig"
 	"genesys/internal/sim"
@@ -58,6 +59,11 @@ type Request struct {
 	// OutArgs carries out-of-band result arguments (e.g. recvfrom's
 	// source port).
 	OutArgs [2]uint64
+
+	// Trace is the causal trace ID GENESYS assigned at slot-claim time
+	// (0 for untraced host-side calls). Dispatch propagates it into the
+	// back-end spans the call generates.
+	Trace uint64
 }
 
 // Ctx is the execution context of a system call: the OS worker thread
@@ -69,10 +75,17 @@ type Ctx struct {
 	P    *sim.Proc
 	OS   *oskern.OS
 	Proc *oskern.Process
+
+	// Events, when attached, receives back-end spans (storage transfers,
+	// socket operations) linked by Trace — the trace ID of the request
+	// currently being dispatched.
+	Events *obs.EventLog
+	Trace  uint64
 }
 
 func (c *Ctx) io() *fs.IOCtx {
-	return &fs.IOCtx{P: c.P, CPU: c.OS.CPU, Prio: cpu.PrioKernel}
+	return &fs.IOCtx{P: c.P, CPU: c.OS.CPU, Prio: cpu.PrioKernel,
+		Events: c.Events, Trace: c.Trace}
 }
 
 // Handler implements one system call.
@@ -116,6 +129,7 @@ func Dispatch(c *Ctx, r *Request) {
 		r.Ret, r.Err = -1, errno.ENOSYS
 		return
 	}
+	c.Trace = r.Trace
 	c.OS.Syscalls.Inc()
 	if rule, hit := c.OS.Inject.Fire(fault.SyscallErrno); hit {
 		// Injected transient failure: the call fails before its handler
@@ -504,11 +518,27 @@ func sysSendto(c *Ctx, r *Request) {
 	if count > len(r.Buf) {
 		count = len(r.Buf)
 	}
+	t0 := c.OS.E.Now()
 	if err := sock.SendTo(int(r.Args[4]), r.Buf[:count]); err != nil {
 		fail(r, err)
 		return
 	}
+	netSpan(c, "sendto", r, sock.Port(), t0)
 	r.Ret = int64(count)
+}
+
+// netSpan records a socket operation on the netstack process's timeline,
+// linked into the call's causal flow chain when it carries a trace ID.
+func netSpan(c *Ctx, op string, r *Request, port int, t0 sim.Time) {
+	if !c.Events.Enabled() {
+		return
+	}
+	fp, fn := obs.FlowNone, ""
+	if r.Trace != 0 {
+		fp, fn = obs.FlowStep, Name(r.NR)
+	}
+	c.Events.FlowSpan("netstack", op, obs.PIDNetstack, port,
+		t0, c.OS.E.Now(), r.Trace, fp, fn)
 }
 
 // sysRecvfrom: Args = [fd, count, timeout_ns]; the payload lands in Buf
@@ -521,11 +551,13 @@ func sysRecvfrom(c *Ctx, r *Request) {
 		fail(r, err)
 		return
 	}
+	t0 := c.OS.E.Now()
 	dg, err := sock.RecvFromTimeout(c.P, sim.Time(r.Args[2]))
 	if err != nil {
 		fail(r, err)
 		return
 	}
+	netSpan(c, "recvfrom", r, sock.Port(), t0)
 	n := copy(r.Buf, dg.Data)
 	r.Ret = int64(n)
 	r.OutArgs[0] = uint64(dg.SrcPort)
