@@ -17,8 +17,7 @@ race:
 	$(GO) test -race ./...
 
 # check is the full pre-merge gate: compile everything, lint with vet,
-# and run the test suite under the race detector.
-check:
-	$(GO) build ./...
-	$(GO) vet ./...
+# run the test suite, then run it again under the race detector.
+check: build vet
+	$(GO) test ./...
 	$(GO) test -race ./...

@@ -81,9 +81,21 @@ type Slot struct {
 	Blocking bool
 	Req      syscalls.Request
 
+	// gen is the slot generation of the owning wavefront tenancy
+	// (gpu.Wavefront.Gen), stamped at populate time. The hardware
+	// recycles wavefront slots the moment a wavefront retires, so every
+	// CPU-side actor that reaches a syscall-area slot through a hardware
+	// wavefront ID (batch scans, retransmit watchdogs, doorbells) must
+	// match gen before touching it — a raw hardware ID may already name
+	// a successor tenant.
+	gen   uint64
 	owner *oskern.Process
 	trace callTrace
 }
+
+// Generation returns the slot generation of the invocation occupying the
+// slot (0 until the slot has ever been populated).
+func (s Slot) Generation() uint64 { return s.gen }
 
 // WaitMode selects how a blocking work-item awaits completion (§V-C).
 type WaitMode int
@@ -215,14 +227,28 @@ type Genesys struct {
 	drainCond   *sim.Cond
 
 	// interrupt coalescing state
-	pendingWaves []int
-	pendingSet   map[int]bool
+	pendingWaves []doorbell
+	pendingSet   map[doorbell]bool
 	coalesceTmr  *sim.Timer
+
+	// orphans is the reaper's ledger: syscall-area slot ID → generation,
+	// for calls still in flight when their wavefront retired. Orphaned
+	// slots keep completing through the normal batch/watchdog paths in
+	// their owner's context (Slot.owner); the ledger exists so retirement
+	// is an explicit hand-off rather than silent aliasing, and so tests
+	// and /sys/genesys/stats can see adoption balance out.
+	orphans map[int]uint64
 
 	Invocations   sim.Counter
 	Batches       sim.Counter
 	BatchedWaves  sim.Counter
 	SlotConflicts sim.Counter
+
+	// OrphansAdopted counts in-flight slots handed to the reaper at
+	// wavefront retirement; OrphansCompleted counts those that later
+	// finished (or were EINTR-aborted by the watchdog) and freed.
+	OrphansAdopted   sim.Counter
+	OrphansCompleted sim.Counter
 
 	// IRQRetransmits counts doorbell redeliveries by the watchdog;
 	// Retries counts syscall restarts (kernel-side here, user-side via
@@ -231,14 +257,26 @@ type Genesys struct {
 	Retries        sim.Counter
 
 	inject *fault.Injector
-	retx   map[int]*retxState // armed retransmit watchdogs, by hw wave
+	retx   map[doorbell]*retxState // armed retransmit watchdogs, by (hw wave, generation)
 
 	tracer    *Tracer
 	events    *obs.EventLog
 	nextTrace uint64 // last assigned causal trace ID
 }
 
-// retxState is one wavefront's retransmit watchdog.
+// doorbell names one tenancy of a hardware wavefront slot: the slot ID
+// the hardware reports and the generation of the wavefront that occupied
+// it when the doorbell was rung. Keying CPU-side state on the pair —
+// instead of the raw slot, which the GPU recycles at retirement — is
+// what keeps retransmit aborts, batch scans and resume doorbells from
+// being misdelivered to a successor wavefront.
+type doorbell struct {
+	hw  int
+	gen uint64
+}
+
+// retxState is one invocation's retransmit watchdog (keyed by doorbell,
+// so a watchdog armed for one tenancy can never act on the next).
 type retxState struct {
 	attempts int
 	sent     bool // a retransmission happened since the last clean check
@@ -264,9 +302,10 @@ func New(e *sim.Engine, dev *gpu.Device, os *oskern.OS, m *mem.System,
 		cfg:         cfg,
 		slots:       make([]Slot, dev.HWWorkItems()),
 		drainCond:   sim.NewCond(e),
-		pendingSet:  make(map[int]bool),
+		pendingSet:  make(map[doorbell]bool),
 		kernelProcs: make(map[*gpu.KernelRun]*oskern.Process),
-		retx:        make(map[int]*retxState),
+		retx:        make(map[doorbell]*retxState),
+		orphans:     make(map[int]uint64),
 	}
 	if g.cfg.RetransmitTimeout <= 0 {
 		g.cfg.RetransmitTimeout = 500 * sim.Microsecond
@@ -278,6 +317,7 @@ func New(e *sim.Engine, dev *gpu.Device, os *oskern.OS, m *mem.System,
 		g.slots[i].ID = i
 	}
 	dev.SetIRQHandler(g.handleIRQ)
+	dev.SetRetireHook(g.adoptOrphans)
 	g.registerSysfs()
 	return g
 }
@@ -295,6 +335,20 @@ func (g *Genesys) SetCoalescing(window sim.Time, max int) {
 	}
 	g.cfg.CoalesceWindow = window
 	g.cfg.CoalesceMax = max
+	g.flushIfKnobsSatisfied()
+}
+
+// flushIfKnobsSatisfied re-evaluates a parked coalescing batch after a
+// knob write: lowering coalesce_max to (or below) the number of pending
+// doorbells, or disabling the window outright, would otherwise leave the
+// batch waiting on the next IRQ or the old window's timer.
+func (g *Genesys) flushIfKnobsSatisfied() {
+	if len(g.pendingWaves) == 0 {
+		return
+	}
+	if len(g.pendingWaves) >= g.cfg.CoalesceMax || g.cfg.CoalesceWindow <= 0 {
+		g.flushPending()
+	}
 }
 
 // BindProcess sets the default CPU process whose context GPU system
@@ -341,6 +395,10 @@ func (g *Genesys) Slot(i int) Slot { return g.slots[i] }
 // Outstanding returns the number of system calls in flight.
 func (g *Genesys) Outstanding() int { return g.outstanding }
 
+// Orphans returns the number of in-flight slots whose wavefront has
+// retired and which are currently held by the orphan reaper.
+func (g *Genesys) Orphans() int { return len(g.orphans) }
+
 func (g *Genesys) registerSysfs() {
 	if g.OS.SysfsRoot == nil {
 		return
@@ -355,6 +413,7 @@ func (g *Genesys) registerSysfs() {
 				return errno.EINVAL
 			}
 			g.cfg.CoalesceWindow = sim.Time(v) * sim.Microsecond
+			g.flushIfKnobsSatisfied()
 			return nil
 		},
 	})
@@ -368,6 +427,7 @@ func (g *Genesys) registerSysfs() {
 				return errno.EINVAL
 			}
 			g.cfg.CoalesceMax = v
+			g.flushIfKnobsSatisfied()
 			return nil
 		},
 	})
@@ -379,9 +439,11 @@ func (g *Genesys) registerSysfs() {
 	}})
 	g.OS.SysfsRoot.Add("stats", &fs.GenFile{Gen: func() []byte {
 		return []byte(fmt.Sprintf(
-			"invocations %d\nbatches %d\nbatched_waves %d\nslot_conflicts %d\noutstanding %d\n",
+			"invocations %d\nbatches %d\nbatched_waves %d\nslot_conflicts %d\noutstanding %d\n"+
+				"orphans_adopted %d\norphans_completed %d\norphans_live %d\n",
 			g.Invocations.Value(), g.Batches.Value(), g.BatchedWaves.Value(),
-			g.SlotConflicts.Value(), g.outstanding))
+			g.SlotConflicts.Value(), g.outstanding,
+			g.OrphansAdopted.Value(), g.OrphansCompleted.Value(), len(g.orphans)))
 	}})
 }
 
@@ -410,15 +472,7 @@ func (g *Genesys) falseSharingPenalty(idx int) sim.Time {
 func (g *Genesys) populateSlot(w *gpu.Wavefront, lane int, req syscalls.Request, blocking bool) *Slot {
 	id := w.HWWorkItemID(lane)
 	s := &g.slots[id]
-	g.nextTrace++
-	s.trace = callTrace{
-		id:     g.nextTrace,
-		nr:     req.NR,
-		wave:   w.HWSlot,
-		worker: -1,
-		claim:  g.E.Now(),
-	}
-	s.owner = g.procFor(w)
+	claimStart := g.E.Now()
 	for {
 		g.Mem.GPUAtomic(w.P, mem.OpCmpSwap, 0)
 		if pen := g.falseSharingPenalty(id); pen > 0 {
@@ -430,9 +484,24 @@ func (g *Genesys) populateSlot(w *gpu.Wavefront, lane int, req syscalls.Request,
 		}
 		// A previous (non-blocking) call on this work-item is still being
 		// processed: invocation is delayed until the slot frees (§VI).
+		// While spinning, the slot still belongs to that call — possibly
+		// an orphan of a retired predecessor tenancy — so nothing (owner,
+		// generation, trace) may be written until the claim wins, or the
+		// in-flight call would complete against the new tenant's identity.
 		g.SlotConflicts.Inc()
 		w.P.Sleep(g.cfg.PollInterval)
 	}
+	g.nextTrace++
+	s.trace = callTrace{
+		id:     g.nextTrace,
+		nr:     req.NR,
+		wave:   w.HWSlot,
+		gen:    w.Gen,
+		worker: -1,
+		claim:  claimStart,
+	}
+	s.owner = g.procFor(w)
+	s.gen = w.Gen
 	req.Ret, req.Err = 0, errno.OK
 	req.Trace = s.trace.id
 	s.Req = req
@@ -483,6 +552,7 @@ func (g *Genesys) awaitSlots(w *gpu.Wavefront, slots []*Slot, mode WaitMode) []R
 		results[i] = Result{Ret: s.Req.Ret, Err: s.Req.Err, OutArgs: s.Req.OutArgs}
 		g.Mem.GPUAtomic(w.P, mem.OpSwap, 0)
 		s.State = SlotFree
+		g.slotReleased(s)
 		s.trace.harvest = g.E.Now()
 		g.finishTrace(s)
 		g.noteCompleted()
@@ -506,6 +576,39 @@ func (g *Genesys) noteCompleted() {
 	}
 }
 
+// adoptOrphans is the GPU's retirement hook (one call per retiring
+// wavefront, before its hardware slot re-enters the free list): any of
+// the wave's syscall-area slots still in flight — non-blocking calls
+// whose wavefront finished without waiting, exactly the §IX case Drain
+// exists for — are handed to the orphan reaper. Orphaned slots keep
+// their generation and owner, so the batch or watchdog that eventually
+// completes them executes in the original process's context and can
+// never be confused with the slot's next tenant.
+func (g *Genesys) adoptOrphans(hw int, gen uint64) {
+	simd := g.GPU.Config().SIMDWidth
+	base := hw * simd
+	for lane := 0; lane < simd; lane++ {
+		s := &g.slots[base+lane]
+		if s.State == SlotFree || s.gen != gen {
+			continue
+		}
+		g.orphans[s.ID] = gen
+		g.OrphansAdopted.Inc()
+		if g.events.Enabled() {
+			g.events.Instant("genesys", "orphan-adopted", obs.PIDSyscalls, s.ID, g.E.Now())
+		}
+	}
+}
+
+// slotReleased retires the reaper's claim on a slot transitioning back
+// to free (called on every free transition; a no-op for non-orphans).
+func (g *Genesys) slotReleased(s *Slot) {
+	if gen, ok := g.orphans[s.ID]; ok && gen == s.gen {
+		delete(g.orphans, s.ID)
+		g.OrphansCompleted.Inc()
+	}
+}
+
 // Invoke issues one system call from lane 0 of the calling wavefront —
 // the primitive underlying work-group and kernel granularity invocation.
 // Blocking calls return the Result; non-blocking calls return immediately
@@ -513,7 +616,7 @@ func (g *Genesys) noteCompleted() {
 func (g *Genesys) Invoke(w *gpu.Wavefront, req syscalls.Request, o Options) Result {
 	s := g.populateSlot(w, 0, req, o.Blocking)
 	w.Interrupt()
-	g.armRetransmit(w.HWSlot)
+	g.armRetransmit(w.HWSlot, w.Gen)
 	if !o.Blocking {
 		return Result{}
 	}
@@ -539,7 +642,7 @@ func (g *Genesys) InvokeEach(w *gpu.Wavefront, mk func(lane int) *syscalls.Reque
 		return nil
 	}
 	w.Interrupt()
-	g.armRetransmit(w.HWSlot)
+	g.armRetransmit(w.HWSlot, w.Gen)
 	if !o.Blocking {
 		return make([]Result, len(slots))
 	}
@@ -598,29 +701,38 @@ func (g *Genesys) Drain(p *sim.Proc) {
 // --- CPU side -------------------------------------------------------------
 
 // armRetransmit starts the interrupt-retransmission watchdog for a
-// wavefront that just rang the doorbell. Inactive injector → no timer,
-// so the default path's event schedule is untouched. A fresh invocation
-// on an already-watched wavefront resets the attempt budget.
-func (g *Genesys) armRetransmit(hw int) {
+// wavefront tenancy that just rang the doorbell. Inactive injector → no
+// timer, so the default path's event schedule is untouched. A fresh
+// invocation on an already-watched tenancy resets the attempt budget —
+// and the retransmission flag with it, so a redelivery that belonged to
+// the previous invocation is never credited to this one as a recovery.
+// Keying on (hw, gen) means a watchdog armed for one tenancy can outlive
+// its wavefront (orphaned non-blocking calls) without ever being able to
+// abort or resume a successor tenant of the recycled hardware slot.
+func (g *Genesys) armRetransmit(hw int, gen uint64) {
 	if !g.inject.Active() {
 		return
 	}
-	if st, ok := g.retx[hw]; ok {
+	key := doorbell{hw, gen}
+	if st, ok := g.retx[key]; ok {
 		st.attempts = 0
+		st.sent = false
 		return
 	}
 	st := &retxState{}
-	g.retx[hw] = st
-	g.E.After(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(hw, st) })
+	g.retx[key] = st
+	g.E.After(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(key, st) })
 }
 
-// staleSlots returns the wavefront's slots still sitting in ready —
-// evidence its doorbell was lost or its batch scan skipped them.
-func (g *Genesys) staleSlots(hw int) []*Slot {
+// staleSlots returns the tenancy's slots still sitting in ready —
+// evidence its doorbell was lost or its batch scan skipped them. Slots
+// of any other generation on the same hardware wavefront belong to a
+// different tenant and are invisible here.
+func (g *Genesys) staleSlots(db doorbell) []*Slot {
 	simd := g.GPU.Config().SIMDWidth
 	var stale []*Slot
 	for lane := 0; lane < simd; lane++ {
-		if s := &g.slots[hw*simd+lane]; s.State == SlotReady {
+		if s := &g.slots[db.hw*simd+lane]; s.State == SlotReady && s.gen == db.gen {
 			stale = append(stale, s)
 		}
 	}
@@ -632,17 +744,20 @@ func (g *Genesys) staleSlots(hw int) []*Slot {
 // stale slots complete with EINTR (blocking callers observe it and may
 // restart; non-blocking slots free so Drain cannot hang) — an injected
 // interrupt loss is either recovered or surfaced, never a silent stall.
-func (g *Genesys) checkRetransmit(hw int, st *retxState) {
-	stale := g.staleSlots(hw)
+// Both the abort and the wake-up doorbell are scoped to the watched
+// generation: a successor wavefront on the recycled hardware slot is
+// neither EINTR-aborted nor spuriously resumed.
+func (g *Genesys) checkRetransmit(db doorbell, st *retxState) {
+	stale := g.staleSlots(db)
 	if len(stale) == 0 {
-		delete(g.retx, hw)
+		delete(g.retx, db)
 		if st.sent {
 			g.inject.NoteRecovered()
 		}
 		return
 	}
 	if st.attempts >= g.cfg.MaxRetransmits {
-		delete(g.retx, hw)
+		delete(g.retx, db)
 		now := g.E.Now()
 		for _, s := range stale {
 			s.Req.Ret, s.Req.Err = -1, errno.EINTR
@@ -653,34 +768,40 @@ func (g *Genesys) checkRetransmit(hw int, st *retxState) {
 				s.State = SlotFinished
 			} else {
 				s.State = SlotFree
+				g.slotReleased(s)
 				g.finishTrace(s)
 				g.noteCompleted()
 			}
 		}
-		g.GPU.Resume(hw)
+		g.GPU.Resume(db.hw, db.gen)
 		return
 	}
 	st.attempts++
 	st.sent = true
 	g.IRQRetransmits.Inc()
-	g.handleIRQ(hw)
-	g.E.After(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(hw, st) })
+	g.handleIRQ(db.hw, db.gen)
+	g.E.After(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(db, st) })
 }
 
 // handleIRQ receives wavefront interrupts (engine-callback context) and
 // applies interrupt coalescing (§V-B): interrupts arriving within
 // CoalesceWindow are batched, up to CoalesceMax, into one kernel task.
-func (g *Genesys) handleIRQ(hwWave int) {
+// The doorbell carries the ringing tenancy's generation; two tenancies
+// of the same hardware slot are distinct batch entries, so a coalesced
+// doorbell from a retired wavefront can never absorb (and thereby
+// starve) its successor's.
+func (g *Genesys) handleIRQ(hwWave int, gen uint64) {
 	if g.inject.Should(fault.IRQDrop) {
 		return // doorbell lost; the retransmit watchdog recovers it
 	}
+	db := doorbell{hwWave, gen}
 	if g.cfg.CoalesceWindow <= 0 || g.cfg.CoalesceMax <= 1 {
-		g.enqueueBatch([]int{hwWave})
+		g.enqueueBatch([]doorbell{db})
 		return
 	}
-	if !g.pendingSet[hwWave] {
-		g.pendingSet[hwWave] = true
-		g.pendingWaves = append(g.pendingWaves, hwWave)
+	if !g.pendingSet[db] {
+		g.pendingSet[db] = true
+		g.pendingWaves = append(g.pendingWaves, db)
 	}
 	if len(g.pendingWaves) >= g.cfg.CoalesceMax {
 		g.flushPending()
@@ -701,20 +822,22 @@ func (g *Genesys) flushPending() {
 	}
 	batch := g.pendingWaves
 	g.pendingWaves = nil
-	g.pendingSet = make(map[int]bool)
+	g.pendingSet = make(map[doorbell]bool)
 	g.enqueueBatch(batch)
 }
 
-func (g *Genesys) enqueueBatch(waves []int) {
+func (g *Genesys) enqueueBatch(waves []doorbell) {
 	g.Batches.Inc()
 	g.BatchedWaves.Add(int64(len(waves)))
 	// Stamp unconditionally (stamping is free in virtual time): a tracer
 	// attached mid-run must see fully-stamped traces, not a zero enqueued
-	// stamp that yields hugely negative delivery-phase samples.
+	// stamp that yields hugely negative delivery-phase samples. Only the
+	// ringing generation's slots are stamped — ready slots of another
+	// tenancy on the same hardware wavefront ride their own doorbell.
 	simd := g.GPU.Config().SIMDWidth
-	for _, hw := range waves {
+	for _, db := range waves {
 		for lane := 0; lane < simd; lane++ {
-			if s := &g.slots[hw*simd+lane]; s.State == SlotReady {
+			if s := &g.slots[db.hw*simd+lane]; s.State == SlotReady && s.gen == db.gen {
 				s.trace.enqueued = g.E.Now()
 			}
 		}
@@ -729,16 +852,23 @@ func (g *Genesys) enqueueBatch(waves []int) {
 // process's context once, then scans the 64 slots of every wavefront in
 // the batch, executing each ready request. Coalescing trades latency for
 // this batching: one task, one context switch, serialized processing.
-func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
+// Each batch entry only touches slots of the generation that rang its
+// doorbell: a slot whose generation differs belongs to another tenancy
+// of the recycled hardware wavefront (an orphan of a retired wave, or a
+// successor that has its own doorbell in flight) and is left alone. The
+// borrowed context always comes from Slot.owner, so an orphaned call
+// still completes in the process that issued it, never in the context of
+// the slot's new tenant.
+func (g *Genesys) processBatch(p *sim.Proc, waves []doorbell) {
 	var current *oskern.Process
 	ctx := &syscalls.Ctx{P: p, OS: g.OS, Events: g.events}
 	worker := g.OS.WorkerID(p)
 	simd := g.GPU.Config().SIMDWidth
-	for _, hw := range waves {
-		base := hw * simd
+	for _, db := range waves {
+		base := db.hw * simd
 		for lane := 0; lane < simd; lane++ {
 			s := &g.slots[base+lane]
-			if s.State != SlotReady {
+			if s.State != SlotReady || s.gen != db.gen {
 				continue
 			}
 			if g.inject.Should(fault.SlotSkip) {
@@ -763,26 +893,36 @@ func (g *Genesys) processBatch(p *sim.Proc, waves []int) {
 			s.State = SlotProcessing
 			s.trace.picked = g.E.Now()
 			s.trace.worker = worker
+			// Snapshot the request before dispatch can mutate it (OutArgs,
+			// and any handler that rewrites its arguments), so an in-place
+			// restart reissues the original call, not a clobbered one.
+			restartable := !s.Blocking && g.inject.Active() && syscalls.Restartable(s.Req.NR)
+			var orig syscalls.Request
+			if restartable {
+				orig = s.Req
+			}
 			g.CPU.Exec(p, g.OS.Config().SyscallSoftware, cpu.PrioKernel)
 			syscalls.Dispatch(ctx, &s.Req)
-			if !s.Blocking && g.inject.Active() && transientErr(s.Req.Err) &&
-				syscalls.Restartable(s.Req.NR) {
+			if restartable && transientErr(s.Req.Err) {
 				// Kernel-side restart: a non-blocking call has no caller
 				// left to observe a transient failure, so the worker
 				// reissues it in place with backoff.
-				g.restartInPlace(p, ctx, s)
+				g.restartInPlace(p, ctx, s, orig)
 			}
 			s.trace.done = g.E.Now()
 			if s.Blocking {
 				s.State = SlotFinished
 			} else {
 				s.State = SlotFree
+				g.slotReleased(s)
 				g.finishTrace(s)
 				g.noteCompleted()
 			}
 		}
-		// Doorbell: wake the wavefront if it halted awaiting results.
-		g.GPU.Resume(hw)
+		// Doorbell: wake the wavefront if it halted awaiting results —
+		// only if it is still the tenancy that rang; a doorbell for a
+		// retired generation is dropped at the device.
+		g.GPU.Resume(db.hw, db.gen)
 	}
 }
 
@@ -792,8 +932,12 @@ func transientErr(e errno.Errno) bool {
 }
 
 // restartInPlace retries a transiently-failed non-blocking request in
-// the worker, with capped exponential backoff in virtual time.
-func (g *Genesys) restartInPlace(p *sim.Proc, ctx *syscalls.Ctx, s *Slot) {
+// the worker, with capped exponential backoff in virtual time. orig is
+// the request as populated by the GPU, snapshotted before the first
+// dispatch: handlers may rewrite arguments and OutArgs while executing,
+// so each retry restores the original request instead of re-issuing
+// whatever the failed attempt left behind.
+func (g *Genesys) restartInPlace(p *sim.Proc, ctx *syscalls.Ctx, s *Slot, orig syscalls.Request) {
 	const maxRestarts = 4
 	backoff := 4 * sim.Microsecond
 	for attempt := 0; attempt < maxRestarts && transientErr(s.Req.Err); attempt++ {
@@ -802,6 +946,7 @@ func (g *Genesys) restartInPlace(p *sim.Proc, ctx *syscalls.Ctx, s *Slot) {
 		if backoff < 64*sim.Microsecond {
 			backoff *= 2
 		}
+		s.Req = orig
 		s.Req.Ret, s.Req.Err = 0, errno.OK
 		g.CPU.Exec(p, g.OS.Config().SyscallSoftware, cpu.PrioKernel)
 		syscalls.Dispatch(ctx, &s.Req)

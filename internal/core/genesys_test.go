@@ -7,6 +7,7 @@ import (
 
 	"genesys/internal/core"
 	"genesys/internal/errno"
+	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/gpu"
 	"genesys/internal/platform"
@@ -339,6 +340,125 @@ func TestCoalescingBatchesInterrupts(t *testing.T) {
 	}
 	if b1 >= b0 {
 		t.Fatalf("coalescing did not reduce batches: %d vs %d", b1, b0)
+	}
+}
+
+func TestCoalesceKnobWriteFlushesParkedBatch(t *testing.T) {
+	// A batch parked under a long coalescing window must flush the moment
+	// a knob write makes it eligible: lowering coalesce_max below the
+	// number of pending doorbells (via sysfs), or disabling the window
+	// (via SetCoalescing) — not sit parked until the old window's timer.
+	const window = 10 * sim.Millisecond
+	m := newMachine(t, 17)
+	pr := m.NewProcess("app")
+	f, _ := m.VFS.Open("/tmp/out", fs.O_CREAT|fs.O_WRONLY)
+	fd, _ := pr.FDs.Install(f)
+
+	kernel := func(name string, off int) gpu.Kernel {
+		return gpu.Kernel{
+			Name: name, WorkGroups: 4, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fd), 64, uint64(off + 64*w.WG.ID)},
+					Buf:  make([]byte, 64),
+				}, core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Relaxed, Kind: core.Consumer})
+			},
+		}
+	}
+	io := &fs.IOCtx{}
+	var sysfsDone, setDone sim.Time
+	m.E.Spawn("host", func(p *sim.Proc) {
+		// Round 1: 4 doorbells park (max 8 not reached); writing
+		// coalesce_max=2 through sysfs must flush them immediately.
+		m.Genesys.SetCoalescing(window, 8)
+		k1 := m.GPU.Launch(p, kernel("park-sysfs", 0))
+		p.Sleep(500 * sim.Microsecond)
+		cm, err := m.VFS.Open("/sys/genesys/coalesce_max", fs.O_RDWR)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cm.Write(io, []byte("2\n")); err != nil {
+			t.Errorf("coalesce_max write: %v", err)
+		}
+		k1.Wait(p)
+		sysfsDone = p.Now()
+
+		// Round 2: park again, then disable the window via SetCoalescing.
+		m.Genesys.SetCoalescing(window, 8)
+		k2 := m.GPU.Launch(p, kernel("park-set", 1024))
+		p.Sleep(500 * sim.Microsecond)
+		m.Genesys.SetCoalescing(0, 8)
+		k2.Wait(p)
+		setDone = p.Now()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sysfsDone >= window {
+		t.Fatalf("sysfs knob write did not flush: round 1 finished at %v (window %v)",
+			sysfsDone, window)
+	}
+	if setDone >= 2*window {
+		t.Fatalf("SetCoalescing did not flush: round 2 finished at %v", setDone)
+	}
+	if b, w := m.Genesys.Batches.Value(), m.Genesys.BatchedWaves.Value(); b != 2 || w != 8 {
+		t.Fatalf("batches=%d waves=%d, want 2 batches of 4 waves each", b, w)
+	}
+}
+
+func TestRestartInPlaceReissuesOriginalRequest(t *testing.T) {
+	// A non-blocking restartable call that fails transiently is reissued
+	// in place by the worker; each retry must carry the original request,
+	// and once the transient clears the write lands whole at the original
+	// offset with nothing surfaced to the workload.
+	cfg := platform.DefaultConfig()
+	cfg.Seed = 19
+	cfg.Faults = &fault.Plan{Name: "early-eagain", Rules: []fault.Rule{
+		{Point: fault.SyscallErrno, Rate: 1, Until: 60 * sim.Microsecond,
+			Param: int64(errno.EAGAIN)},
+	}}
+	m := platform.New(cfg)
+	t.Cleanup(m.Shutdown)
+	pr := m.NewProcess("app")
+	f, _ := m.VFS.Open("/tmp/out", fs.O_CREAT|fs.O_WRONLY)
+	fd, _ := pr.FDs.Install(f)
+
+	const size = 4096
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name: "restart", WorkGroups: 1, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fd), size, 0},
+					Buf:  bytes.Repeat([]byte{'x'}, size),
+				}, core.Options{Blocking: false, Ordering: core.Relaxed, Kind: core.Consumer})
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Inject.InjectedAt(fault.SyscallErrno) == 0 {
+		t.Fatal("injection window fired nothing; first dispatch missed it")
+	}
+	if m.Genesys.Retries.Value() == 0 {
+		t.Fatal("transient failure did not trigger an in-place restart")
+	}
+	if m.Inject.Surfaced.Value() != 0 {
+		t.Fatalf("surfaced = %d; the restart should have recovered", m.Inject.Surfaced.Value())
+	}
+	if m.Inject.Recovered.Value() == 0 {
+		t.Fatal("recovery not recorded")
+	}
+	data, _ := m.ReadFile("/tmp/out")
+	if len(data) != size || bytes.Contains(data, []byte{0}) {
+		t.Fatalf("file = %d bytes (retry reissued a clobbered request?)", len(data))
 	}
 }
 

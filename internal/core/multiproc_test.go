@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"bytes"
 	"testing"
 
 	"genesys/internal/core"
@@ -81,6 +82,93 @@ func TestTwoProcessesIsolatedContexts(t *testing.T) {
 	si, _ = appB.Sig.TryWait()
 	if si.Pid != appA.PID {
 		t.Fatalf("signal to appB came from pid %d, want %d", si.Pid, appA.PID)
+	}
+}
+
+// TestOrphanedCallCompletesInOriginalOwner is the slot-reuse regression
+// test for generation tagging: a non-blocking syscall is still in flight
+// when its wavefront retires, the freed hardware slot is immediately
+// reused by a second kernel bound to a *different* process, and the
+// orphaned call must still complete in the original owner's context —
+// the two processes use identical fd numbers, so any misrouting through
+// the new tenant's fd table lands the bytes in the wrong file.
+func TestOrphanedCallCompletesInOriginalOwner(t *testing.T) {
+	m := newMachine(t, 23)
+	appA := m.NewProcess("appA")
+	appB := m.OS.NewProcess("appB")
+
+	fileA, _ := m.VFS.Open("/tmp/a", fs.O_CREAT|fs.O_RDWR)
+	fileB, _ := m.VFS.Open("/tmp/b", fs.O_CREAT|fs.O_RDWR)
+	fdA, _ := appA.FDs.Install(fileA)
+	fdB, _ := appB.FDs.Install(fileB)
+	if fdA != fdB {
+		t.Fatalf("test needs identical fd numbers, got %d and %d", fdA, fdB)
+	}
+
+	const sizeA, sizeB = 16 << 10, 512
+	outstandingAtK1Done := -1
+	var resB core.Result
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k1 := m.GPU.Launch(p, gpu.Kernel{
+			Name: "appA-nb", WorkGroups: 1, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fdA), sizeA, 0},
+					Buf:  bytes.Repeat([]byte{'a'}, sizeA),
+				}, core.Options{Blocking: false, Ordering: core.Relaxed, Kind: core.Consumer})
+			},
+		})
+		k1.Wait(p)
+		// The wavefront has retired; its call must still be in flight for
+		// the scenario to exercise orphan adoption.
+		outstandingAtK1Done = m.Genesys.Outstanding()
+
+		k2 := m.GPU.LaunchAsync(gpu.Kernel{
+			Name: "appB-reuse", WorkGroups: 1, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				res, inv := m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_pwrite64,
+					Args: [6]uint64{uint64(fdB), sizeB, 0},
+					Buf:  bytes.Repeat([]byte{'b'}, sizeB),
+				}, core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Strong})
+				if inv {
+					resB = res
+				}
+			},
+		})
+		m.Genesys.BindKernel(k2, appB)
+		k2.Wait(p)
+		m.Genesys.Drain(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if outstandingAtK1Done != 1 {
+		t.Fatalf("outstanding at first-kernel completion = %d, want 1 (call must outlive its wavefront)",
+			outstandingAtK1Done)
+	}
+	if got := m.Genesys.OrphansAdopted.Value(); got != 1 {
+		t.Fatalf("orphans adopted = %d, want 1", got)
+	}
+	if got := m.Genesys.OrphansCompleted.Value(); got != 1 {
+		t.Fatalf("orphans completed = %d, want 1", got)
+	}
+	if got := m.Genesys.Orphans(); got != 0 {
+		t.Fatalf("%d orphans still live after drain", got)
+	}
+	if !resB.Ok() || resB.Ret != sizeB {
+		t.Fatalf("second tenant's call = %+v, want %d-byte write", resB, sizeB)
+	}
+	a, _ := m.ReadFile("/tmp/a")
+	b, _ := m.ReadFile("/tmp/b")
+	if len(a) != sizeA || bytes.Contains(a, []byte{'b'}) {
+		t.Fatalf("/tmp/a = %d bytes (orphaned write lost or misrouted)", len(a))
+	}
+	if len(b) != sizeB || bytes.Contains(b, []byte{'a'}) {
+		t.Fatalf("/tmp/b = %d bytes (new tenant's write misrouted)", len(b))
 	}
 }
 

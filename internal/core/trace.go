@@ -38,6 +38,7 @@ type callTrace struct {
 	id     uint64 // trace ID, assigned at slot claim
 	nr     int    // syscall number
 	wave   int    // issuing hardware wavefront slot
+	gen    uint64 // slot generation of the issuing tenancy (hw slots are recycled)
 	worker int    // OS worker that processed the call (-1 if none)
 
 	// aborted marks a call the retransmit watchdog gave up on (EINTR

@@ -62,16 +62,23 @@ func DefaultConfig() Config {
 }
 
 // IRQHandler receives GPU→CPU interrupts; hwWave is the hardware
-// wavefront slot that raised the interrupt. Handlers run as engine
-// callbacks and must not block.
-type IRQHandler func(hwWave int)
+// wavefront slot that raised the interrupt and gen the slot generation
+// of the wavefront occupying it (see Wavefront.Gen). Handlers run as
+// engine callbacks and must not block.
+type IRQHandler func(hwWave int, gen uint64)
+
+// RetireHook is called when a wavefront retires and its hardware slot is
+// about to be recycled; hwSlot and gen identify the retiring tenant.
+// Hooks run as engine callbacks and must not block.
+type RetireHook func(hwSlot int, gen uint64)
 
 // Device is the simulated GPU.
 type Device struct {
 	e   *sim.Engine
 	cfg Config
 
-	irq IRQHandler
+	irq    IRQHandler
+	retire RetireHook
 
 	cus      []*cu
 	pending  []*KernelRun
@@ -79,6 +86,14 @@ type Device struct {
 
 	// hwWaves maps hardware wavefront slot → resident wavefront.
 	hwWaves []*Wavefront
+
+	// slotGens counts tenants per hardware slot: entry hw is the
+	// generation of the wavefront currently (or most recently) occupying
+	// slot hw. Slot reuse after retirement bumps the generation, so a
+	// (slot, generation) pair names one tenant uniquely for the lifetime
+	// of the machine — the key the CPU side uses to keep doorbells and
+	// watchdog aborts from landing on a successor wavefront.
+	slotGens []uint64
 
 	// events, when attached and enabled, receives wavefront run/halt
 	// spans and interrupt instants (one trace-viewer thread per HW slot).
@@ -111,9 +126,10 @@ func New(e *sim.Engine, cfg Config) *Device {
 		panic("gpu: invalid config")
 	}
 	d := &Device{
-		e:       e,
-		cfg:     cfg,
-		hwWaves: make([]*Wavefront, cfg.CUs*cfg.WavefrontsPerCU),
+		e:        e,
+		cfg:      cfg,
+		hwWaves:  make([]*Wavefront, cfg.CUs*cfg.WavefrontsPerCU),
+		slotGens: make([]uint64, cfg.CUs*cfg.WavefrontsPerCU),
 	}
 	d.dispatch = sim.NewCond(e)
 	for i := 0; i < cfg.CUs; i++ {
@@ -132,6 +148,10 @@ func (d *Device) Config() Config { return d.cfg }
 
 // SetIRQHandler registers the CPU-side interrupt handler.
 func (d *Device) SetIRQHandler(h IRQHandler) { d.irq = h }
+
+// SetRetireHook registers the wavefront-retirement callback (the orphan
+// hand-off point for system calls still in flight at retirement).
+func (d *Device) SetRetireHook(h RetireHook) { d.retire = h }
 
 // SetEventLog attaches the machine's structured event log.
 func (d *Device) SetEventLog(l *obs.EventLog) { d.events = l }
@@ -317,10 +337,12 @@ func (d *Device) startWG(kr *KernelRun, c *cu) {
 		remaining -= lanes
 		slot := c.freeSlots[len(c.freeSlots)-1]
 		c.freeSlots = c.freeSlots[:len(c.freeSlots)-1]
+		d.slotGens[slot]++
 		w := &Wavefront{
 			WG:         wg,
 			ID:         i,
 			HWSlot:     slot,
+			Gen:        d.slotGens[slot],
 			Lanes:      lanes,
 			dev:        d,
 			resumeCond: sim.NewCond(d.e),
@@ -349,6 +371,12 @@ func (d *Device) startWG(kr *KernelRun, c *cu) {
 func (d *Device) waveDone(w *Wavefront) {
 	wg := w.WG
 	d.hwWaves[w.HWSlot] = nil
+	if d.retire != nil {
+		// Hand off before the slot re-enters the free list: system calls
+		// the retiring wavefront left in flight must be adopted before a
+		// successor tenant can be dispatched onto the same slot.
+		d.retire(w.HWSlot, w.Gen)
+	}
 	wg.cu.freeSlots = append(wg.cu.freeSlots, w.HWSlot)
 	d.utilWaves.Add(d.e.Now(), -1)
 	wg.cu.resident--
@@ -377,12 +405,26 @@ func (d *Device) ResidentWave(hwWave int) *Wavefront {
 	return d.hwWaves[hwWave]
 }
 
-// Resume wakes the wavefront halted in hardware slot hwWave. Safe to call
-// from engine callbacks (the CPU side). Resuming a non-halted or vacated
-// slot is a no-op, matching hardware doorbell semantics.
-func (d *Device) Resume(hwWave int) {
+// SlotGeneration returns the generation of the wavefront currently (or,
+// for a vacated slot, most recently) occupying hardware slot hwWave; 0
+// means the slot has never been occupied.
+func (d *Device) SlotGeneration(hwWave int) uint64 {
+	if hwWave < 0 || hwWave >= len(d.slotGens) {
+		return 0
+	}
+	return d.slotGens[hwWave]
+}
+
+// Resume wakes the wavefront halted in hardware slot hwWave, provided it
+// is still the tenant of generation gen — a doorbell addressed to a
+// retired generation is dropped rather than delivered to whatever
+// wavefront has since been dispatched onto the recycled slot. Safe to
+// call from engine callbacks (the CPU side). Resuming a non-halted,
+// vacated or re-tenanted slot is a no-op, matching hardware doorbell
+// semantics.
+func (d *Device) Resume(hwWave int, gen uint64) {
 	w := d.ResidentWave(hwWave)
-	if w == nil || !w.halted {
+	if w == nil || w.Gen != gen || !w.halted {
 		return
 	}
 	d.Resumes.Inc()
@@ -401,6 +443,11 @@ type Wavefront struct {
 	ID int
 	// HWSlot is the hardware wavefront slot (indexes the syscall area).
 	HWSlot int
+	// Gen is the slot generation of this tenancy: HWSlot alone aliases
+	// across kernels the moment the wavefront retires and the slot is
+	// recycled, so everything the CPU side keys by hardware slot
+	// (doorbells, retransmit watchdogs, resumes) carries (HWSlot, Gen).
+	Gen uint64
 	// Lanes is the number of active lanes (< SIMDWidth only in the last,
 	// partial wavefront of a work-group).
 	Lanes int
@@ -511,16 +558,16 @@ func (w *Wavefront) GlobalBarrier() {
 }
 
 // Interrupt raises a GPU→CPU interrupt carrying this wavefront's hardware
-// slot ID (the s_sendmsg path). Delivery takes InterruptLatency; the
-// handler runs as an engine callback.
+// slot ID and slot generation (the s_sendmsg path). Delivery takes
+// InterruptLatency; the handler runs as an engine callback.
 func (w *Wavefront) Interrupt() {
 	w.dev.Interrupts.Inc()
 	d := w.dev
-	hw := w.HWSlot
+	hw, gen := w.HWSlot, w.Gen
 	d.events.Instant("gpu", "irq", obs.PIDGPU, hw, d.e.Now())
 	d.e.After(d.cfg.InterruptLatency, func() {
 		if d.irq != nil {
-			d.irq(hw)
+			d.irq(hw, gen)
 		}
 	})
 }

@@ -210,9 +210,9 @@ func TestHaltResume(t *testing.T) {
 			Name: "halt", WorkGroups: 1, WGSize: 64,
 			Fn: func(w *Wavefront) {
 				haltedAt = w.P.Now()
-				hw := w.HWSlot
+				hw, gen := w.HWSlot, w.Gen
 				// Schedule a CPU-side resume 100us from now.
-				w.P.Engine().After(100*sim.Microsecond, func() { d.Resume(hw) })
+				w.P.Engine().After(100*sim.Microsecond, func() { d.Resume(hw, gen) })
 				w.Halt()
 				resumedAt = w.P.Now()
 			},
@@ -237,7 +237,7 @@ func TestResumeOfVacatedSlotIsNoop(t *testing.T) {
 			Name: "quick", WorkGroups: 1, WGSize: 64,
 			Fn: func(w *Wavefront) {},
 		}).Wait(p)
-		d.Resume(0) // slot now vacated; must not panic or wake anything
+		d.Resume(0, d.SlotGeneration(0)) // slot now vacated; must not panic or wake anything
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -247,11 +247,116 @@ func TestResumeOfVacatedSlotIsNoop(t *testing.T) {
 	}
 }
 
+func TestSlotGenerationBumpsOnReuse(t *testing.T) {
+	// Two sequential kernels reuse the same hardware wavefront slots;
+	// each tenancy must get a distinct, increasing generation.
+	e, d := newDev(1)
+	gens := make(map[int][]uint64)
+	run := func(name string) Kernel {
+		return Kernel{
+			Name: name, WorkGroups: 2, WGSize: 64,
+			Fn: func(w *Wavefront) {
+				gens[w.HWSlot] = append(gens[w.HWSlot], w.Gen)
+				if got := d.SlotGeneration(w.HWSlot); got != w.Gen {
+					t.Errorf("SlotGeneration(%d) = %d, want %d", w.HWSlot, got, w.Gen)
+				}
+			},
+		}
+	}
+	e.Spawn("host", func(p *sim.Proc) {
+		d.Launch(p, run("first")).Wait(p)
+		d.Launch(p, run("second")).Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reused := 0
+	for hw, gs := range gens {
+		for i := 1; i < len(gs); i++ {
+			reused++
+			if gs[i] <= gs[i-1] {
+				t.Fatalf("hw slot %d generations %v not increasing", hw, gs)
+			}
+		}
+	}
+	if reused == 0 {
+		t.Fatal("no hardware slot was reused across the two kernels")
+	}
+}
+
+func TestResumeOfStaleGenerationDropped(t *testing.T) {
+	// A Resume carrying a previous tenancy's generation must not wake
+	// the halted successor; the correctly-tagged Resume must.
+	e, d := newDev(1)
+	var haltedAt, resumedAt sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		d.Launch(p, Kernel{
+			Name: "halt", WorkGroups: 1, WGSize: 64,
+			Fn: func(w *Wavefront) {
+				haltedAt = w.P.Now()
+				hw, gen := w.HWSlot, w.Gen
+				eng := w.P.Engine()
+				eng.After(50*sim.Microsecond, func() { d.Resume(hw, gen-1) })
+				eng.After(100*sim.Microsecond, func() { d.Resume(hw, gen) })
+				w.Halt()
+				resumedAt = w.P.Now()
+			},
+		}).Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := haltedAt + 100*sim.Microsecond + d.Config().ResumeLatency
+	if resumedAt != want {
+		t.Fatalf("resumedAt = %v, want %v (stale-generation resume must be dropped)",
+			resumedAt, want)
+	}
+	if d.Resumes.Value() != 1 {
+		t.Fatalf("resumes = %d, want 1", d.Resumes.Value())
+	}
+}
+
+func TestRetireHookFiresPerWavefront(t *testing.T) {
+	e, d := newDev(1)
+	type retirement struct {
+		hw  int
+		gen uint64
+	}
+	var retired []retirement
+	d.SetRetireHook(func(hw int, gen uint64) {
+		retired = append(retired, retirement{hw, gen})
+	})
+	var started []retirement
+	e.Spawn("host", func(p *sim.Proc) {
+		d.Launch(p, Kernel{
+			Name: "retire", WorkGroups: 4, WGSize: 256,
+			Fn: func(w *Wavefront) {
+				started = append(started, retirement{w.HWSlot, w.Gen})
+			},
+		}).Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(retired) != 4*4 {
+		t.Fatalf("retire hook fired %d times, want 16 (one per wavefront)", len(retired))
+	}
+	want := make(map[retirement]bool)
+	for _, s := range started {
+		want[s] = true
+	}
+	for _, r := range retired {
+		if !want[r] {
+			t.Fatalf("retired (hw=%d gen=%d) never started", r.hw, r.gen)
+		}
+	}
+}
+
 func TestInterruptDelivery(t *testing.T) {
 	e, d := newDev(1)
 	var gotHW int = -1
 	var at sim.Time
-	d.SetIRQHandler(func(hw int) { gotHW = hw; at = e.Now() })
+	d.SetIRQHandler(func(hw int, gen uint64) { gotHW = hw; at = e.Now() })
 	var sentAt sim.Time
 	var sentHW int
 	e.Spawn("host", func(p *sim.Proc) {

@@ -176,6 +176,11 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 	reg.RegisterGauge("genesys.outstanding", func() int64 {
 		return int64(m.Genesys.Outstanding())
 	})
+	reg.RegisterCounter("genesys.orphans_adopted", &m.Genesys.OrphansAdopted)
+	reg.RegisterCounter("genesys.orphans_completed", &m.Genesys.OrphansCompleted)
+	reg.RegisterGauge("genesys.orphans_live", func() int64 {
+		return int64(m.Genesys.Orphans())
+	})
 
 	reg.RegisterCounter("oskern.tasks_run", &m.OS.TasksRun)
 	reg.RegisterCounter("oskern.syscalls", &m.OS.Syscalls)
