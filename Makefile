@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race
+.PHONY: all build test check vet race bench
 
 all: build
 
@@ -21,3 +21,9 @@ race:
 check: build vet
 	$(GO) test ./...
 	$(GO) test -race ./...
+
+# bench runs the engine microbenchmarks and the host wall-clock suite
+# (writes BENCH_<case>.json + BENCH_host.json to the current directory).
+bench:
+	$(GO) test ./internal/sim -bench . -benchmem -run '^$$'
+	$(GO) run ./cmd/genesys bench

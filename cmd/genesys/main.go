@@ -13,10 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"genesys/internal/core"
@@ -179,6 +181,39 @@ func runCmd(args []string) {
 	}
 }
 
+// hostCase is one row of BENCH_host.json: wall-clock throughput of a
+// bench case on this machine. Unlike BENCH_<case>.json these numbers
+// are host-dependent and excluded from the determinism gate.
+type hostCase struct {
+	Name               string  `json:"name"`
+	Seed               int64   `json:"seed"`
+	Calls              int     `json:"calls"`
+	WallMS             float64 `json:"wall_ms"`
+	SyscallsPerHostSec float64 `json:"syscalls_per_host_sec"`
+	SimEventsTotal     uint64  `json:"sim_events_total"`
+	EventsPerHostSec   float64 `json:"events_per_host_sec"`
+	SimProcSwitches    uint64  `json:"sim_proc_switches_total"`
+	SimReadyFast       uint64  `json:"sim_events_ready_fast"`
+	SimCallbacksRun    uint64  `json:"sim_callbacks_run"`
+	SimProcsReaped     uint64  `json:"sim_procs_reaped"`
+	SimTimersCanceled  uint64  `json:"sim_timers_canceled"`
+}
+
+// hostReport is the BENCH_host.json document.
+type hostReport struct {
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	Cases     []hostCase `json:"cases"`
+}
+
+func perHostSec(n uint64, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(n) / wall.Seconds()
+}
+
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "machine seed")
@@ -188,9 +223,13 @@ func benchCmd(args []string) {
 	if len(names) == 0 {
 		names = experiments.BenchNames()
 	}
+	report := hostReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
 	for _, name := range names {
-		start := time.Now()
-		res, err := experiments.RunBench(name, *seed)
+		res, host, err := experiments.RunBenchHost(name, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
@@ -200,10 +239,36 @@ func benchCmd(args []string) {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-16s %6d calls  p50 %8.2fus  p99 %8.2fus  cpu %5.1f%%  -> %s (%v)\n",
-			name, res.Calls, res.P50US, res.P99US, res.CPUUtilPct, path,
-			time.Since(start).Round(time.Millisecond))
+		wall := time.Duration(host.WallNS)
+		report.Cases = append(report.Cases, hostCase{
+			Name:               name,
+			Seed:               *seed,
+			Calls:              res.Calls,
+			WallMS:             float64(host.WallNS) / 1e6,
+			SyscallsPerHostSec: perHostSec(uint64(res.Calls), wall),
+			SimEventsTotal:     host.Events,
+			EventsPerHostSec:   perHostSec(host.Events, wall),
+			SimProcSwitches:    host.ProcSwitches,
+			SimReadyFast:       host.ReadyFast,
+			SimCallbacksRun:    host.CallbacksRun,
+			SimProcsReaped:     host.ProcsReaped,
+			SimTimersCanceled:  host.TimersCanceled,
+		})
+		fmt.Printf("%-16s %6d calls  p50 %8.2fus  p99 %8.2fus  cpu %5.1f%%  %9.0f calls/s  -> %s (%v)\n",
+			name, res.Calls, res.P50US, res.P99US, res.CPUUtilPct,
+			perHostSec(uint64(res.Calls), wall), path, wall.Round(time.Millisecond))
 	}
+	hb, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	hostPath := filepath.Join(*outDir, "BENCH_host.json")
+	if err := os.WriteFile(hostPath, append(hb, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("host wall-clock report -> %s\n", hostPath)
 }
 
 func classifyCmd() {

@@ -721,7 +721,7 @@ func (g *Genesys) armRetransmit(hw int, gen uint64) {
 	}
 	st := &retxState{}
 	g.retx[key] = st
-	g.E.After(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(key, st) })
+	g.E.CallAfter(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(key, st) })
 }
 
 // staleSlots returns the tenancy's slots still sitting in ready —
@@ -780,7 +780,7 @@ func (g *Genesys) checkRetransmit(db doorbell, st *retxState) {
 	st.sent = true
 	g.IRQRetransmits.Inc()
 	g.handleIRQ(db.hw, db.gen)
-	g.E.After(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(db, st) })
+	g.E.CallAfter(g.cfg.RetransmitTimeout, func() { g.checkRetransmit(db, st) })
 }
 
 // handleIRQ receives wavefront interrupts (engine-callback context) and

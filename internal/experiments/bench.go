@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"time"
 
 	"genesys/internal/core"
 	"genesys/internal/fs"
@@ -202,9 +203,31 @@ func trackByName(u *obs.Util, name string) *obs.UtilTrack {
 	return nil
 }
 
+// HostStats captures the host-side (wall-clock) cost of one bench run.
+// Unlike BenchResult these numbers depend on the machine the benchmark
+// ran on, so they are reported separately (BENCH_host.json) and are
+// NOT part of the determinism gate.
+type HostStats struct {
+	WallNS         int64  `json:"wall_ns"`
+	Events         uint64 `json:"sim_events_total"`
+	ReadyFast      uint64 `json:"sim_events_ready_fast"`
+	CallbacksRun   uint64 `json:"sim_callbacks_run"`
+	ProcSwitches   uint64 `json:"sim_proc_switches_total"`
+	ProcsSpawned   uint64 `json:"sim_procs_spawned"`
+	ProcsReaped    uint64 `json:"sim_procs_reaped"`
+	TimersCanceled uint64 `json:"sim_timers_canceled"`
+}
+
 // RunBench runs one bench case deterministically and returns its
 // snapshot.
 func RunBench(name string, seed int64) (BenchResult, error) {
+	res, _, err := RunBenchHost(name, seed)
+	return res, err
+}
+
+// RunBenchHost is RunBench plus host wall-clock and engine-throughput
+// telemetry for the same run.
+func RunBenchHost(name string, seed int64) (BenchResult, HostStats, error) {
 	var bc *benchCase
 	for i := range benchCases {
 		if benchCases[i].name == name {
@@ -212,7 +235,7 @@ func RunBench(name string, seed int64) (BenchResult, error) {
 		}
 	}
 	if bc == nil {
-		return BenchResult{}, fmt.Errorf("bench: unknown case %q (have %v)", name, BenchNames())
+		return BenchResult{}, HostStats{}, fmt.Errorf("bench: unknown case %q (have %v)", name, BenchNames())
 	}
 	cfg := platform.DefaultConfig()
 	cfg.Seed = seed
@@ -222,9 +245,22 @@ func RunBench(name string, seed int64) (BenchResult, error) {
 	m := platform.New(cfg)
 	defer m.Shutdown()
 	m.Obs.Events.SetEnabled(true)
+	start := time.Now()
 	bc.setup(m)
 	if err := m.Run(); err != nil {
-		return BenchResult{}, err
+		return BenchResult{}, HostStats{}, err
+	}
+	wall := time.Since(start)
+	st := m.E.Stats()
+	host := HostStats{
+		WallNS:         wall.Nanoseconds(),
+		Events:         st.Scheduled,
+		ReadyFast:      st.ReadyFast,
+		CallbacksRun:   st.CallbacksRun,
+		ProcSwitches:   st.ProcSwitches,
+		ProcsSpawned:   st.ProcsSpawned,
+		ProcsReaped:    st.ProcsReaped,
+		TimersCanceled: st.TimersCanceled,
 	}
 	now := m.E.Now()
 	tr := m.Genesys.Tracer()
@@ -249,5 +285,5 @@ func RunBench(name string, seed int64) (BenchResult, error) {
 		EventsDropped:   m.Obs.Events.Dropped(),
 		EventsRejected:  m.Obs.Events.Rejected(),
 	}
-	return res, nil
+	return res, host, nil
 }

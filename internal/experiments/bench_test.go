@@ -7,9 +7,12 @@ import (
 )
 
 // TestBenchDeterministic: the property CI's perf-snapshot artifacts rely
-// on — the same case and seed produce byte-identical JSON.
+// on — the same case and seed produce byte-identical JSON. The whole
+// suite runs twice in-process so engine-internal state (event pooling,
+// ready-queue reuse, proc reaping) from one run cannot leak into the
+// next machine's virtual-time behavior.
 func TestBenchDeterministic(t *testing.T) {
-	for _, name := range []string{"syscall-idle", "net-loopback"} {
+	for _, name := range BenchNames() {
 		a, err := RunBench(name, 7)
 		if err != nil {
 			t.Fatal(err)
@@ -22,6 +25,37 @@ func TestBenchDeterministic(t *testing.T) {
 			t.Fatalf("%s diverged across identical runs:\n%s\nvs\n%s",
 				name, a.JSON(), b.JSON())
 		}
+	}
+}
+
+// TestBenchHostStats: RunBenchHost reports the same deterministic
+// snapshot plus plausible host-side engine telemetry.
+func TestBenchHostStats(t *testing.T) {
+	res, host, err := RunBenchHost("syscall-loaded", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunBench("syscall-loaded", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.JSON(), plain.JSON()) {
+		t.Fatal("RunBenchHost snapshot differs from RunBench")
+	}
+	if host.WallNS <= 0 {
+		t.Fatalf("wall_ns=%d", host.WallNS)
+	}
+	if host.Events == 0 || host.ProcSwitches == 0 {
+		t.Fatalf("engine telemetry empty: %+v", host)
+	}
+	if host.Events < host.ReadyFast {
+		t.Fatalf("ready-fast %d exceeds events %d", host.ReadyFast, host.Events)
+	}
+	if host.ProcsSpawned == 0 || host.ProcsReaped == 0 {
+		t.Fatalf("proc reaping not observed: %+v", host)
+	}
+	if host.ProcsReaped > host.ProcsSpawned {
+		t.Fatalf("reaped %d > spawned %d", host.ProcsReaped, host.ProcsSpawned)
 	}
 }
 

@@ -559,13 +559,15 @@ func (w *Wavefront) GlobalBarrier() {
 
 // Interrupt raises a GPU→CPU interrupt carrying this wavefront's hardware
 // slot ID and slot generation (the s_sendmsg path). Delivery takes
-// InterruptLatency; the handler runs as an engine callback.
+// InterruptLatency; the handler runs as an engine callback on the
+// allocation-free CallAfter fast path — the doorbell is the hottest hop
+// in the system (one per invocation, more under retransmission).
 func (w *Wavefront) Interrupt() {
 	w.dev.Interrupts.Inc()
 	d := w.dev
 	hw, gen := w.HWSlot, w.Gen
 	d.events.Instant("gpu", "irq", obs.PIDGPU, hw, d.e.Now())
-	d.e.After(d.cfg.InterruptLatency, func() {
+	d.e.CallAfter(d.cfg.InterruptLatency, func() {
 		if d.irq != nil {
 			d.irq(hw, gen)
 		}

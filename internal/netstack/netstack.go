@@ -180,7 +180,7 @@ func (sk *Socket) SendTo(dstPort int, data []byte) error {
 		delay += sim.Time(st.e.Rand.Int63n(int64(st.cfg.JitterMax)))
 	}
 	st.Sent.Inc()
-	st.e.After(delay, func() {
+	st.e.CallAfter(delay, func() {
 		if st.inject.Should(fault.NetDrop) {
 			st.noteDrop(dg) // lost in flight
 			return

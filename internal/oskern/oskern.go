@@ -257,7 +257,7 @@ func (o *OS) watchTask(t Task) *taskState {
 		return nil
 	}
 	st := &taskState{}
-	o.E.After(o.stallTimeout(), func() {
+	o.E.CallAfter(o.stallTimeout(), func() {
 		if st.executed || st.redispatched {
 			return
 		}

@@ -220,6 +220,34 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 		return int64(pool.Free())
 	})
 
+	// Engine hot-path telemetry: how much scheduling work the simulation
+	// itself performs, and how much of it rides the allocation-free fast
+	// paths (ready queue, engine callbacks) versus full proc switches.
+	reg.RegisterGauge("sim.events_total", func() int64 {
+		return int64(m.E.Stats().Scheduled)
+	})
+	reg.RegisterGauge("sim.events_ready_fast", func() int64 {
+		return int64(m.E.Stats().ReadyFast)
+	})
+	reg.RegisterGauge("sim.callbacks_run", func() int64 {
+		return int64(m.E.Stats().CallbacksRun)
+	})
+	reg.RegisterGauge("sim.proc_switches_total", func() int64 {
+		return int64(m.E.Stats().ProcSwitches)
+	})
+	reg.RegisterGauge("sim.timers_canceled", func() int64 {
+		return int64(m.E.Stats().TimersCanceled)
+	})
+	reg.RegisterGauge("sim.events_pending", func() int64 {
+		return int64(m.E.Pending())
+	})
+	reg.RegisterGauge("sim.procs_live", func() int64 {
+		return int64(m.E.LiveProcs())
+	})
+	reg.RegisterGauge("sim.procs_reaped", func() int64 {
+		return int64(m.E.Stats().ProcsReaped)
+	})
+
 	ev := m.Obs.Events
 	reg.RegisterGauge("obs.events_dropped", ev.Dropped)
 	reg.RegisterGauge("obs.events_rejected", ev.Rejected)

@@ -4,7 +4,8 @@
 // The engine advances a virtual clock by executing events in (time,
 // sequence) order. Two kinds of activity exist:
 //
-//   - callbacks: plain functions scheduled with At/After; they run inline
+//   - callbacks: plain functions scheduled with At/After (cancellable) or
+//     CallAt/CallAfter (fire-and-forget, allocation-free); they run inline
 //     in the engine loop and must not block, and
 //   - processes: goroutines written in ordinary imperative style that
 //     interact with virtual time through Sleep, Cond.Wait, Queue and
@@ -14,6 +15,19 @@
 // engine hands a single execution token back and forth over channels, so
 // simulations are bit-deterministic for a given seed and free of data
 // races by construction.
+//
+// Internally the engine keeps two event containers whose union is always
+// consumed in strict (time, sequence) order:
+//
+//   - a value-based binary min-heap for events in the future, and
+//   - a same-instant ready queue (FIFO by sequence) for events scheduled
+//     at the current virtual time — unblocks, yields, spawns and
+//     zero-delay callbacks — which therefore bypass the heap entirely.
+//
+// Events are plain values stored inline in those containers, so
+// steady-state scheduling performs no allocation; only the cancellable
+// At/After path allocates its Timer handle. See EngineStats for the
+// counters that expose this machinery.
 package sim
 
 import (
@@ -87,6 +101,7 @@ type Proc struct {
 	wake    chan struct{}
 	state   procState
 	reason  string // why the proc is blocked, for deadlock reports
+	idx     int    // position in Engine.procs, for swap-remove reaping
 	daemon  bool
 	killed  bool
 	started bool
@@ -104,37 +119,95 @@ func (p *Proc) Now() Time { return p.e.now }
 // Rand returns the engine's deterministic random source.
 func (p *Proc) Rand() *rand.Rand { return p.e.Rand }
 
-// event is one scheduled occurrence. Exactly one of p or fn is set.
+// event is one scheduled occurrence, stored by value in the heap or the
+// ready queue. Exactly one of p or fn is set; tmr is non-nil only for
+// cancellable At/After callbacks.
 type event struct {
-	t        Time
-	seq      uint64
-	p        *Proc
-	fn       func()
-	canceled bool
+	t   Time
+	seq uint64
+	p   *Proc
+	fn  func()
+	tmr *Timer
 }
 
-// Timer is a handle to a scheduled callback that can be canceled.
-type Timer struct{ ev *event }
+// timerInert marks a Timer whose event has fired or been canceled.
+const timerInert = -1
 
-// Cancel stops the timer's callback from running. Canceling an
+// Timer is a handle to a scheduled callback that can be canceled. Its pos
+// field tracks the event's current position: >= 0 is a heap index,
+// <= -2 encodes ready-queue index -(pos+2), timerInert means done.
+type Timer struct {
+	e   *Engine
+	pos int
+}
+
+// Cancel stops the timer's callback from running. The event is removed
+// from the engine immediately — its closure (and any state the closure
+// captures) is released at cancel time, not when the event's instant is
+// reached — so mass cancellation (e.g. retransmit watchdogs disarmed by
+// fast completions) leaves no dead weight in the heap. Canceling an
 // already-fired or already-canceled timer is a no-op.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+	if t == nil || t.e == nil || t.pos == timerInert {
+		return
 	}
+	e := t.e
+	e.stats.TimersCanceled++
+	if t.pos >= 0 {
+		e.heapRemove(t.pos)
+	} else {
+		e.ready[-t.pos-2] = event{}
+		e.readyHoles++
+	}
+	t.pos = timerInert
+}
+
+// EngineStats counts the engine's own mechanics: how many events were
+// scheduled, how many took the same-instant ready-queue fast path
+// (bypassing the heap), how many callbacks ran inline versus process
+// resumptions (each resumption costs two goroutine channel switches), and
+// timer/process lifecycle totals. They never influence virtual-time
+// behavior; they exist so host-throughput work (events per host-second)
+// is measurable, and are exported in the obs metrics registry under
+// sim.*.
+type EngineStats struct {
+	Scheduled      uint64 // events ever scheduled (heap + ready queue)
+	ReadyFast      uint64 // events that bypassed the heap via the ready queue
+	CallbacksRun   uint64 // callback events executed inline
+	ProcSwitches   uint64 // engine→process token handoffs (resumptions)
+	TimersCanceled uint64 // At/After timers canceled before firing
+	ProcsSpawned   uint64 // processes ever spawned
+	ProcsReaped    uint64 // completed processes removed from the proc table
+	HeapPeak       int    // high-water mark of the event heap
+	ReadyPeak      int    // high-water mark of live ready-queue entries
 }
 
 // Engine is the discrete-event simulation core.
 type Engine struct {
-	now   Time
-	heap  []*event
-	seq   uint64
+	now Time
+	seq uint64
+
+	// heap is the value-based binary min-heap (ordered by (t, seq)) that
+	// holds events scheduled in the future.
+	heap []event
+
+	// ready is the same-instant fast path: events scheduled at the
+	// current virtual time, consumed FIFO (which is (t, seq) order, since
+	// the clock and seq are both non-decreasing as entries are appended).
+	// readyHead indexes the next entry; canceled entries leave zeroed
+	// holes that the pop loop skips, counted by readyHoles.
+	ready      []event
+	readyHead  int
+	readyHoles int
+
 	yield chan struct{}
 
-	procs    []*Proc
-	live     int // procs spawned and not yet done
-	liveUser int // live non-daemon procs
+	procs    []*Proc // live (not yet completed) processes
+	live     int     // procs spawned and not yet done
+	liveUser int     // live non-daemon procs
 	fatal    error
+
+	stats EngineStats
 
 	// Rand is the engine-wide deterministic random source.
 	Rand *rand.Rand
@@ -151,80 +224,187 @@ func NewEngine(seed int64) *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// --- event heap (min-heap ordered by (t, seq)) ---
+// Stats returns a snapshot of the engine's mechanical counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
 
-func (e *Engine) pushEvent(ev *event) {
-	e.heap = append(e.heap, ev)
-	i := len(e.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if eventLess(e.heap[i], e.heap[parent]) {
-			e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
-			i = parent
-		} else {
-			break
-		}
-	}
+// Pending returns the number of events currently scheduled and not yet
+// executed (canceled ready-queue holes excluded).
+func (e *Engine) Pending() int {
+	return len(e.heap) + (len(e.ready) - e.readyHead - e.readyHoles)
 }
 
-func (e *Engine) popEvent() *event {
-	for len(e.heap) > 0 {
-		top := e.heap[0]
-		n := len(e.heap) - 1
-		e.heap[0] = e.heap[n]
-		e.heap[n] = nil
-		e.heap = e.heap[:n]
-		if n > 0 {
-			i := 0
-			for {
-				l, r := 2*i+1, 2*i+2
-				least := i
-				if l < n && eventLess(e.heap[l], e.heap[least]) {
-					least = l
-				}
-				if r < n && eventLess(e.heap[r], e.heap[least]) {
-					least = r
-				}
-				if least == i {
-					break
-				}
-				e.heap[i], e.heap[least] = e.heap[least], e.heap[i]
-				i = least
-			}
-		}
-		if !top.canceled {
-			return top
-		}
-	}
-	return nil
-}
+// LiveProcs returns the number of processes spawned and not yet finished.
+func (e *Engine) LiveProcs() int { return e.live }
 
-func eventLess(a, b *event) bool {
+// --- event containers ------------------------------------------------------
+
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.heap[i], &e.heap[j]
 	if a.t != b.t {
 		return a.t < b.t
 	}
 	return a.seq < b.seq
 }
 
-func (e *Engine) schedule(t Time, p *Proc, fn func()) *event {
+func (e *Engine) swapEvents(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	if t := e.heap[i].tmr; t != nil {
+		t.pos = i
+	}
+	if t := e.heap[j].tmr; t != nil {
+		t.pos = j
+	}
+}
+
+// siftUp restores the heap invariant upward from i; it reports whether
+// the entry moved.
+func (e *Engine) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swapEvents(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && e.less(l, least) {
+			least = l
+		}
+		if r < n && e.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		e.swapEvents(i, least)
+		i = least
+	}
+}
+
+func (e *Engine) heapPush(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	if ev.tmr != nil {
+		ev.tmr.pos = i
+	}
+	e.siftUp(i)
+	if len(e.heap) > e.stats.HeapPeak {
+		e.stats.HeapPeak = len(e.heap)
+	}
+}
+
+func (e *Engine) heapPop() event {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = event{} // release the vacated slot's references
+	e.heap = e.heap[:n]
+	if n > 0 {
+		if t := e.heap[0].tmr; t != nil {
+			t.pos = 0
+		}
+		e.siftDown(0)
+	}
+	return top
+}
+
+// heapRemove deletes entry i (timer cancellation), releasing its
+// references immediately and re-establishing the heap invariant.
+func (e *Engine) heapRemove(i int) {
+	n := len(e.heap) - 1
+	moved := e.heap[n]
+	e.heap[n] = event{}
+	e.heap = e.heap[:n]
+	if i == n {
+		return
+	}
+	e.heap[i] = moved
+	if moved.tmr != nil {
+		moved.tmr.pos = i
+	}
+	if !e.siftUp(i) {
+		e.siftDown(i)
+	}
+}
+
+// place routes a newly scheduled event: same-instant events append to the
+// ready queue (no heap traffic), future events go into the heap.
+func (e *Engine) place(ev event) {
+	if ev.t == e.now {
+		if e.readyHead == len(e.ready) && e.readyHead > 0 {
+			// The queue fully drained; reuse its storage from the start.
+			e.ready = e.ready[:0]
+			e.readyHead, e.readyHoles = 0, 0
+		}
+		if ev.tmr != nil {
+			ev.tmr.pos = -(len(e.ready) + 2)
+		}
+		e.ready = append(e.ready, ev)
+		e.stats.ReadyFast++
+		if live := len(e.ready) - e.readyHead - e.readyHoles; live > e.stats.ReadyPeak {
+			e.stats.ReadyPeak = live
+		}
+		return
+	}
+	e.heapPush(ev)
+}
+
+func (e *Engine) schedule(t Time, p *Proc, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
 	}
 	e.seq++
-	ev := &event{t: t, seq: e.seq, p: p, fn: fn}
-	e.pushEvent(ev)
-	return ev
+	e.stats.Scheduled++
+	e.place(event{t: t, seq: e.seq, p: p, fn: fn})
+}
+
+func (e *Engine) scheduleTimer(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
+	}
+	tm := &Timer{e: e, pos: timerInert}
+	e.seq++
+	e.stats.Scheduled++
+	e.place(event{t: t, seq: e.seq, fn: fn, tmr: tm})
+	return tm
 }
 
 // At schedules fn to run as a callback at absolute time t. Callbacks run
-// inline in the engine loop and must not block.
+// inline in the engine loop and must not block. The returned Timer can
+// cancel the callback; code that never cancels should prefer CallAt,
+// which allocates nothing.
 func (e *Engine) At(t Time, fn func()) *Timer {
-	return &Timer{ev: e.schedule(t, nil, fn)}
+	return e.scheduleTimer(t, fn)
 }
 
 // After schedules fn to run as a callback d from now.
 func (e *Engine) After(d Time, fn func()) *Timer {
-	return e.At(e.now+d, fn)
+	return e.scheduleTimer(e.now+d, fn)
+}
+
+// CallAt schedules fn to run as a callback at absolute time t, with no
+// cancellation handle. This is the fast path for fixed-latency hops (IRQ
+// delivery, datagram delivery, watchdog ticks): the event is stored by
+// value, so scheduling performs no allocation and the hop runs inline in
+// the engine loop instead of costing a process switch.
+func (e *Engine) CallAt(t Time, fn func()) {
+	e.schedule(t, nil, fn)
+}
+
+// CallAfter schedules fn to run as a callback d from now, with no
+// cancellation handle (see CallAt).
+func (e *Engine) CallAfter(d Time, fn func()) {
+	e.schedule(e.now+d, nil, fn)
 }
 
 // Spawn starts a new process named name running fn. The process begins
@@ -243,8 +423,10 @@ func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
 
 func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 	p := &Proc{e: e, name: name, wake: make(chan struct{}), daemon: daemon}
+	p.idx = len(e.procs)
 	e.procs = append(e.procs, p)
 	e.live++
+	e.stats.ProcsSpawned++
 	if !daemon {
 		e.liveUser++
 	}
@@ -260,6 +442,7 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 			if !p.daemon {
 				e.liveUser--
 			}
+			e.reap(p)
 			e.yield <- struct{}{}
 		}()
 		<-p.wake
@@ -274,11 +457,32 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 	return p
 }
 
+// reap removes a completed process from the proc table by swap-remove, so
+// long-running simulations do not accumulate one *Proc per retired
+// activity (e.g. per retired wavefront). It runs in the dying process's
+// goroutine while the engine is parked in resume(), so the table is never
+// touched concurrently; deadlock reports and Shutdown only ever need the
+// still-live processes that remain.
+func (e *Engine) reap(p *Proc) {
+	last := len(e.procs) - 1
+	if p.idx < 0 || p.idx > last || e.procs[p.idx] != p {
+		return
+	}
+	moved := e.procs[last]
+	e.procs[p.idx] = moved
+	moved.idx = p.idx
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
+	p.idx = -1
+	e.stats.ProcsReaped++
+}
+
 // resume hands the execution token to p and waits for it to come back.
 func (e *Engine) resume(p *Proc) {
 	if p.state == procDone {
 		return
 	}
+	e.stats.ProcSwitches++
 	p.wake <- struct{}{}
 	<-e.yield
 }
@@ -356,22 +560,63 @@ func (e *Engine) RunUntil(limit Time) error {
 		if e.fatal != nil {
 			return e.fatal
 		}
-		ev := e.popEvent()
-		if ev == nil {
+		// Advance past canceled holes at the ready-queue head.
+		for e.readyHead < len(e.ready) {
+			h := &e.ready[e.readyHead]
+			if h.p == nil && h.fn == nil {
+				e.readyHead++
+				e.readyHoles--
+				continue
+			}
+			break
+		}
+		if e.readyHead == len(e.ready) && e.readyHead > 0 {
+			e.ready = e.ready[:0]
+			e.readyHead, e.readyHoles = 0, 0
+		}
+		hasReady := e.readyHead < len(e.ready)
+		hasHeap := len(e.heap) > 0
+		if !hasReady && !hasHeap {
 			if e.liveUser > 0 {
 				return e.deadlockErr()
 			}
 			return nil
 		}
-		if ev.t > limit {
-			e.pushEvent(ev) // keep for a later RunUntil
-			e.now = limit
-			return nil
+		// The ready queue is FIFO by (t, seq) and the heap is a min-heap
+		// by (t, seq), so the global next event is whichever head is
+		// smaller — this comparison is what keeps the fast path
+		// bit-identical to a single ordered queue.
+		useReady := hasReady
+		if hasReady && hasHeap {
+			h, r := &e.heap[0], &e.ready[e.readyHead]
+			if h.t < r.t || (h.t == r.t && h.seq < r.seq) {
+				useReady = false
+			}
+		}
+		var ev event
+		if useReady {
+			if e.ready[e.readyHead].t > limit {
+				e.now = limit
+				return nil
+			}
+			ev = e.ready[e.readyHead]
+			e.ready[e.readyHead] = event{} // release references
+			e.readyHead++
+		} else {
+			if e.heap[0].t > limit {
+				e.now = limit
+				return nil
+			}
+			ev = e.heapPop()
 		}
 		e.now = ev.t
+		if ev.tmr != nil {
+			ev.tmr.pos = timerInert
+		}
 		if ev.p != nil {
 			e.resume(ev.p)
 		} else {
+			e.stats.CallbacksRun++
 			ev.fn()
 		}
 	}
@@ -392,12 +637,17 @@ func (e *Engine) deadlockErr() error {
 // be called from outside the engine loop (i.e. not from a proc or
 // callback), typically after Run returns.
 func (e *Engine) Shutdown() {
-	for _, p := range e.procs {
-		if p.state == procDone || p.state == procNew {
+	// Dying procs swap-remove themselves from e.procs, so kill a snapshot.
+	live := make([]*Proc, len(e.procs))
+	copy(live, e.procs)
+	for _, p := range live {
+		if p == nil || p.state == procDone || p.state == procNew {
 			continue
 		}
 		p.killed = true
 		e.resume(p)
 	}
 	e.heap = nil
+	e.ready = nil
+	e.readyHead, e.readyHoles = 0, 0
 }
