@@ -229,7 +229,7 @@ func benchCmd(args []string) {
 		GOARCH:    runtime.GOARCH,
 	}
 	for _, name := range names {
-		res, host, err := experiments.RunBenchHost(name, *seed)
+		res, host, artifacts, err := experiments.RunBenchArtifacts(name, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
@@ -238,6 +238,14 @@ func benchCmd(args []string) {
 		if err := os.WriteFile(path, res.JSON(), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
+		}
+		for aname, data := range artifacts {
+			apath := filepath.Join(*outDir, aname)
+			if err := os.WriteFile(apath, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-16s artifact -> %s\n", name, apath)
 		}
 		wall := time.Duration(host.WallNS)
 		report.Cases = append(report.Cases, hostCase{

@@ -883,6 +883,15 @@ func (g *Genesys) processBatch(p *sim.Proc, waves []doorbell) {
 			if owner == nil {
 				panic("genesys: no process bound; call BindProcess or BindKernel before launching kernels")
 			}
+			// Claim the slot before the context switch: SwitchTo yields
+			// virtual time to charge the switch cost, and a concurrent
+			// batch for the same tenancy (a retransmitted doorbell, or a
+			// second doorbell from back-to-back non-blocking calls)
+			// scanning during that window would otherwise double-pick the
+			// slot — the loser's completion then lands on a slot the
+			// wavefront has already harvested and recycled, stranding it
+			// in finished with no caller left to free it.
+			s.State = SlotProcessing
 			// Context switches are charged only when the borrowed
 			// context actually changes within the batch.
 			if owner != current {
@@ -890,7 +899,6 @@ func (g *Genesys) processBatch(p *sim.Proc, waves []doorbell) {
 				current = owner
 				ctx.Proc = owner
 			}
-			s.State = SlotProcessing
 			s.trace.picked = g.E.Now()
 			s.trace.worker = worker
 			// Snapshot the request before dispatch can mutate it (OutArgs,

@@ -8,6 +8,7 @@ import (
 	"genesys/internal/fault"
 	"genesys/internal/fs"
 	"genesys/internal/gpu"
+	"genesys/internal/oskern"
 	"genesys/internal/platform"
 	"genesys/internal/sim"
 	"genesys/internal/syscalls"
@@ -232,5 +233,98 @@ func TestWatchdogExhaustionScopedToOrphanGeneration(t *testing.T) {
 	if m.GPU.Resumes.Value() != 0 {
 		t.Fatalf("resumes = %d: an exhaustion doorbell woke a polling wave's slot",
 			m.GPU.Resumes.Value())
+	}
+}
+
+// TestDuplicateDoorbellSingleDispatch congests the worker queue so the
+// retransmit watchdog redelivers a doorbell several times while the
+// original batch task is still queued, then releases all workers at once:
+// the duplicate batches race to pick the same ready slot. The batch scan
+// must claim the slot (ready -> processing) before paying the
+// context-switch cost — that charge yields virtual time, and a duplicate
+// batch scanning inside the window used to double-pick the slot. The
+// loser's dispatch then ran the same request twice (here: a second append
+// doubling the file) and its completion landed on a slot the wavefront
+// had already harvested and recycled, wedging the work-item's next
+// invocation forever.
+func TestDuplicateDoorbellSingleDispatch(t *testing.T) {
+	cfg := platform.DefaultConfig()
+	cfg.Seed = 33
+	cfg.Genesys.RetransmitTimeout = 5 * sim.Microsecond
+	cfg.Genesys.MaxRetransmits = 100
+	// Pin the pool so Enqueue cannot grow it past the two workers we
+	// park: the doorbell batch must sit queued behind them.
+	cfg.Kernel.Workers = 2
+	cfg.Kernel.MaxWorkers = 2
+	// Any armed rule activates the recovery machinery; NetDrop never
+	// fires on a file-only workload, so nothing else is perturbed.
+	plan := fault.Plan{Name: "armed-idle",
+		Rules: []fault.Rule{{Point: fault.NetDrop, Rate: 0}}}
+	cfg.Faults = &plan
+	m := platform.New(cfg)
+	t.Cleanup(m.Shutdown)
+
+	app := m.NewProcess("app")
+	f, _ := m.VFS.Open("/tmp/once", fs.O_CREAT|fs.O_RDWR)
+	fd, _ := app.FDs.Install(f)
+
+	// Park every worker long enough for several watchdog redeliveries of
+	// the same doorbell to pile up behind them.
+	const parked = 100 * sim.Microsecond
+	for i := 0; i < cfg.Kernel.Workers; i++ {
+		m.OS.Enqueue(oskern.Task{Name: "filler",
+			Run: func(p *sim.Proc) { p.Sleep(parked) }})
+	}
+
+	const size1, size2 = 512, 256
+	var res1, res2 core.Result
+	done := false
+	m.E.Spawn("host", func(p *sim.Proc) {
+		k := m.GPU.Launch(p, gpu.Kernel{
+			Name: "caller", WorkGroups: 1, WGSize: 64,
+			Fn: func(w *gpu.Wavefront) {
+				r1, inv := m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_write,
+					Args: [6]uint64{uint64(fd), size1},
+					Buf:  bytes.Repeat([]byte{'x'}, size1),
+				}, core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Strong})
+				r2, _ := m.Genesys.InvokeWG(w, syscalls.Request{
+					NR:   syscalls.SYS_write,
+					Args: [6]uint64{uint64(fd), size2},
+					Buf:  bytes.Repeat([]byte{'y'}, size2),
+				}, core.Options{Blocking: true, Wait: core.WaitPoll,
+					Ordering: core.Strong})
+				if inv {
+					res1, res2 = r1, r2
+				}
+			},
+		})
+		k.Wait(p)
+		m.Genesys.Drain(p)
+		done = true
+	})
+	// A wedged populate spin generates events forever (never a deadlock),
+	// so bound the run in virtual time instead of relying on m.Run.
+	if err := m.E.RunUntil(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("kernel never completed: a duplicate batch's completion stranded a recycled slot")
+	}
+	if m.Genesys.IRQRetransmits.Value() == 0 {
+		t.Fatal("no doorbell redelivery happened; scenario not exercised")
+	}
+	if !res1.Ok() || res1.Ret != size1 || !res2.Ok() || res2.Ret != size2 {
+		t.Fatalf("results = %+v / %+v, want %d and %d bytes", res1, res2, size1, size2)
+	}
+	data, _ := m.ReadFile("/tmp/once")
+	if len(data) != size1+size2 {
+		t.Fatalf("/tmp/once = %d bytes, want %d (a duplicate batch dispatched a call twice?)",
+			len(data), size1+size2)
+	}
+	if m.Genesys.Orphans() != 0 || m.Genesys.Outstanding() != 0 {
+		t.Fatalf("orphans=%d outstanding=%d after drain",
+			m.Genesys.Orphans(), m.Genesys.Outstanding())
 	}
 }

@@ -36,7 +36,11 @@ const (
 	ENOTEMPTY    Errno = 39
 	ENOTSOCK     Errno = 88
 	EMSGSIZE     Errno = 90
+	EOPNOTSUPP   Errno = 95
 	EADDRINUSE   Errno = 98
+	ECONNRESET   Errno = 104
+	EISCONN      Errno = 106
+	ENOTCONN     Errno = 107
 	ETIMEDOUT    Errno = 110
 	ECONNREFUSED Errno = 111
 )
@@ -69,7 +73,11 @@ var names = map[Errno]string{
 	ENOTEMPTY:    "ENOTEMPTY",
 	ENOTSOCK:     "ENOTSOCK",
 	EMSGSIZE:     "EMSGSIZE",
+	EOPNOTSUPP:   "EOPNOTSUPP",
 	EADDRINUSE:   "EADDRINUSE",
+	ECONNRESET:   "ECONNRESET",
+	EISCONN:      "EISCONN",
+	ENOTCONN:     "ENOTCONN",
 	ETIMEDOUT:    "ETIMEDOUT",
 	ECONNREFUSED: "ECONNREFUSED",
 }

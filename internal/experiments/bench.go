@@ -13,6 +13,7 @@ import (
 	"genesys/internal/platform"
 	"genesys/internal/sim"
 	"genesys/internal/syscalls"
+	"genesys/internal/workloads"
 )
 
 // BenchResult is the perf snapshot one bench case emits as
@@ -61,6 +62,9 @@ type benchCase struct {
 	// setup prepares the machine and spawns the workload's host process;
 	// the runner then drives the engine to quiescence.
 	setup func(m *platform.Machine)
+	// run, when set, replaces setup+Run for cases whose workload driver
+	// owns the engine loop itself (e.g. the fleet harness).
+	run func(m *platform.Machine, seed int64) error
 }
 
 // benchSyscallKernel spawns the canonical blocking work-group-granularity
@@ -183,6 +187,19 @@ var benchCases = []benchCase{
 			})
 		},
 	},
+	{
+		// The service-fleet scenario: churning clients (UDP sessions +
+		// stream connections) against poll-multiplexing GPU work-groups.
+		// Sized well below the 100k acceptance run so the double-run gate
+		// stays cheap; the SLO report rides along as SLO_fleet.json.
+		name: "fleet",
+		run: func(m *platform.Machine, seed int64) error {
+			cfg := workloads.DefaultFleetConfig(5000)
+			cfg.Seed = seed
+			_, err := workloads.RunFleet(m, cfg)
+			return err
+		},
+	},
 }
 
 // BenchNames lists the bench suite cases in emission order.
@@ -228,6 +245,15 @@ func RunBench(name string, seed int64) (BenchResult, error) {
 // RunBenchHost is RunBench plus host wall-clock and engine-throughput
 // telemetry for the same run.
 func RunBenchHost(name string, seed int64) (BenchResult, HostStats, error) {
+	res, host, _, err := RunBenchArtifacts(name, seed)
+	return res, host, err
+}
+
+// RunBenchArtifacts is RunBenchHost plus any extra deterministic
+// artifacts the case produced, keyed by file name (the fleet case emits
+// its SLO report as SLO_fleet.json). Artifacts join BENCH_<case>.json in
+// the byte-identity gate; host telemetry stays excluded.
+func RunBenchArtifacts(name string, seed int64) (BenchResult, HostStats, map[string][]byte, error) {
 	var bc *benchCase
 	for i := range benchCases {
 		if benchCases[i].name == name {
@@ -235,7 +261,7 @@ func RunBenchHost(name string, seed int64) (BenchResult, HostStats, error) {
 		}
 	}
 	if bc == nil {
-		return BenchResult{}, HostStats{}, fmt.Errorf("bench: unknown case %q (have %v)", name, BenchNames())
+		return BenchResult{}, HostStats{}, nil, fmt.Errorf("bench: unknown case %q (have %v)", name, BenchNames())
 	}
 	cfg := platform.DefaultConfig()
 	cfg.Seed = seed
@@ -246,9 +272,15 @@ func RunBenchHost(name string, seed int64) (BenchResult, HostStats, error) {
 	defer m.Shutdown()
 	m.Obs.Events.SetEnabled(true)
 	start := time.Now()
-	bc.setup(m)
-	if err := m.Run(); err != nil {
-		return BenchResult{}, HostStats{}, err
+	if bc.run != nil {
+		if err := bc.run(m, seed); err != nil {
+			return BenchResult{}, HostStats{}, nil, err
+		}
+	} else {
+		bc.setup(m)
+		if err := m.Run(); err != nil {
+			return BenchResult{}, HostStats{}, nil, err
+		}
 	}
 	wall := time.Since(start)
 	st := m.E.Stats()
@@ -285,5 +317,9 @@ func RunBenchHost(name string, seed int64) (BenchResult, HostStats, error) {
 		EventsDropped:   m.Obs.Events.Dropped(),
 		EventsRejected:  m.Obs.Events.Rejected(),
 	}
-	return res, host, nil
+	var artifacts map[string][]byte
+	if slo := m.Obs.SLO(); slo != nil {
+		artifacts = map[string][]byte{"SLO_" + name + ".json": slo.JSON()}
+	}
+	return res, host, artifacts, nil
 }

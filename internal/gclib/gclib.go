@@ -23,6 +23,7 @@ import (
 	"genesys/internal/core"
 	"genesys/internal/errno"
 	"genesys/internal/gpu"
+	"genesys/internal/netstack"
 	"genesys/internal/sim"
 	"genesys/internal/syscalls"
 	"genesys/internal/vmm"
@@ -419,6 +420,87 @@ func (c C) RecvFromTimeout(w *gpu.Wavefront, fd int, buf []byte, timeout sim.Tim
 	})
 	return int(r.Ret), int(r.OutArgs[0]), r.Err
 }
+
+// StreamSocket creates a TCP-like stream socket.
+func (c C) StreamSocket(w *gpu.Wavefront) (int, errno.Errno) {
+	r := c.collect(w, syscalls.Request{
+		NR: syscalls.SYS_socket, Args: [6]uint64{uint64(netstack.Stream)},
+	})
+	return int(r.Ret), r.Err
+}
+
+// Listen marks a bound stream socket as accepting connections.
+func (c C) Listen(w *gpu.Wavefront, fd, backlog int) errno.Errno {
+	r := c.collect(w, syscalls.Request{
+		NR: syscalls.SYS_listen, Args: [6]uint64{uint64(fd), uint64(backlog)},
+	})
+	return r.Err
+}
+
+// Connect establishes a stream connection to dstPort (blocking).
+func (c C) Connect(w *gpu.Wavefront, fd, dstPort int) errno.Errno {
+	r := c.collect(w, syscalls.Request{
+		NR: syscalls.SYS_connect, Args: [6]uint64{uint64(fd), uint64(dstPort)},
+	})
+	return r.Err
+}
+
+// Accept blocks for a pending connection and returns (conn fd, remote
+// port). timeout > 0 bounds the wait SO_RCVTIMEO-style (EAGAIN).
+func (c C) Accept(w *gpu.Wavefront, fd int, timeout sim.Time) (int, int, errno.Errno) {
+	r := c.collect(w, syscalls.Request{
+		NR: syscalls.SYS_accept, Args: [6]uint64{uint64(fd), uint64(timeout)},
+	})
+	return int(r.Ret), int(r.OutArgs[0]), r.Err
+}
+
+// Send writes buf to a connected stream socket (blocking, full write).
+func (c C) Send(w *gpu.Wavefront, fd int, buf []byte) (int, errno.Errno) {
+	r := c.collect(w, syscalls.Request{
+		NR:   syscalls.SYS_sendto,
+		Args: [6]uint64{uint64(fd), uint64(len(buf))},
+		Buf:  buf,
+	})
+	return int(r.Ret), r.Err
+}
+
+// Recv reads from a connected stream socket; 0 bytes with no error is
+// EOF. timeout > 0 bounds the wait (EAGAIN at the deadline).
+func (c C) Recv(w *gpu.Wavefront, fd int, buf []byte, timeout sim.Time) (int, errno.Errno) {
+	r := c.collect(w, syscalls.Request{
+		NR:   syscalls.SYS_recvfrom,
+		Args: [6]uint64{uint64(fd), uint64(len(buf)), uint64(timeout)},
+		Buf:  buf,
+	})
+	return int(r.Ret), r.Err
+}
+
+// Poll waits for readiness across fds, poll(2)-style, so one work-group
+// slot multiplexes a whole shard of fleet sockets. It returns the
+// indices into fds that are readable. timeout semantics: 0 probes
+// without blocking, PollForever blocks until something is ready, any
+// other value is a deadline after which an empty set returns.
+func (c C) Poll(w *gpu.Wavefront, fds []int, timeout sim.Time) ([]int, errno.Errno) {
+	buf := syscalls.EncodePollFDs(fds)
+	r, _ := c.collectBuf(w, syscalls.Request{
+		NR:   syscalls.SYS_poll,
+		Args: [6]uint64{uint64(len(fds)), uint64(timeout)},
+		Buf:  buf,
+	})
+	if r.Err != errno.OK {
+		return nil, r.Err
+	}
+	var ready []int
+	for i, b := range syscalls.DecodePollRevents(buf, len(fds)) {
+		if b != 0 {
+			ready = append(ready, i)
+		}
+	}
+	return ready, errno.OK
+}
+
+// PollForever is the Poll timeout meaning "block until readiness".
+const PollForever = sim.Time(int64(-1))
 
 // --- device control -----------------------------------------------------------
 

@@ -1,0 +1,105 @@
+package gclib_test
+
+import (
+	"testing"
+
+	"genesys/internal/errno"
+	"genesys/internal/gclib"
+	"genesys/internal/gpu"
+	"genesys/internal/sim"
+)
+
+// A GPU work-group runs a stream server — listen, poll for the pending
+// connection, accept, poll for data, echo — against a CPU-side client.
+func TestStreamAndPollWrappers(t *testing.T) {
+	m := newM(t)
+	c := gclib.C{G: m.Genesys}
+	var clientGot string
+	m.E.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(200 * sim.Microsecond) // let the GPU server come up
+		ck := m.Net.NewStreamSocket()
+		if err := ck.Connect(p, 5050); err != nil {
+			t.Errorf("client connect: %v", err)
+			return
+		}
+		if _, err := ck.Send(p, []byte("fleet-req")); err != nil {
+			t.Errorf("client send: %v", err)
+			return
+		}
+		buf := make([]byte, 64)
+		n, err := ck.Recv(p, buf)
+		if err != nil {
+			t.Errorf("client recv: %v", err)
+			return
+		}
+		clientGot = string(buf[:n])
+		ck.Close()
+	})
+	runKernel(t, m, 1, 64, func(w *gpu.Wavefront) {
+		lfd, err := c.StreamSocket(w)
+		if err != errno.OK {
+			t.Errorf("stream socket: %v", err)
+			return
+		}
+		if err := c.Bind(w, lfd, 5050); err != errno.OK {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		if err := c.Listen(w, lfd, 8); err != errno.OK {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		// Multiplex the listener via poll instead of blocking in accept.
+		ready, perr := c.Poll(w, []int{lfd}, gclib.PollForever)
+		if perr != errno.OK || len(ready) != 1 {
+			t.Errorf("poll for accept = %v %v", ready, perr)
+			return
+		}
+		cfd, rport, aerr := c.Accept(w, lfd, 0)
+		if aerr != errno.OK || rport == 0 {
+			t.Errorf("accept: %v rport=%d", aerr, rport)
+			return
+		}
+		ready, perr = c.Poll(w, []int{lfd, cfd}, gclib.PollForever)
+		if perr != errno.OK || len(ready) != 1 || ready[0] != 1 {
+			t.Errorf("poll for data = %v %v", ready, perr)
+			return
+		}
+		buf := make([]byte, 64)
+		n, rerr := c.Recv(w, cfd, buf, 0)
+		if rerr != errno.OK {
+			t.Errorf("recv: %v", rerr)
+			return
+		}
+		if _, serr := c.Send(w, cfd, append([]byte("ok:"), buf[:n]...)); serr != errno.OK {
+			t.Errorf("send: %v", serr)
+		}
+		c.Close(w, cfd)
+		c.Close(w, lfd)
+	})
+	if clientGot != "ok:fleet-req" {
+		t.Fatalf("client got %q", clientGot)
+	}
+}
+
+// Poll with a finite timeout returns an empty ready set at the deadline.
+func TestPollWrapperTimeout(t *testing.T) {
+	m := newM(t)
+	c := gclib.C{G: m.Genesys}
+	runKernel(t, m, 1, 64, func(w *gpu.Wavefront) {
+		fd, err := c.Socket(w)
+		if err != errno.OK {
+			t.Errorf("socket: %v", err)
+			return
+		}
+		if err := c.Bind(w, fd, 6100); err != errno.OK {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		ready, perr := c.Poll(w, []int{fd}, 50*sim.Microsecond)
+		if perr != errno.OK || len(ready) != 0 {
+			t.Errorf("timed poll = %v %v, want empty set", ready, perr)
+		}
+		c.Close(w, fd)
+	})
+}

@@ -82,6 +82,7 @@ var commands = map[string]command{
 	"metrics":  {"metrics", cmdMetrics},
 	"util":     {"util", cmdUtil},
 	"critpath": {"critpath", cmdCritpath},
+	"slo":      {"slo", cmdSLO},
 }
 
 // help is registered in init: cmdHelp renders Usage, which reads the
@@ -296,6 +297,10 @@ func cmdUtil(s *Shell, w *gpu.Wavefront, args []string) error {
 
 func cmdCritpath(s *Shell, w *gpu.Wavefront, args []string) error {
 	return catSysfs(s, w, "/sys/genesys/critpath")
+}
+
+func cmdSLO(s *Shell, w *gpu.Wavefront, args []string) error {
+	return catSysfs(s, w, "/sys/genesys/slo")
 }
 
 func cmdDf(s *Shell, w *gpu.Wavefront, args []string) error {

@@ -156,11 +156,16 @@ func TestObservabilityCommands(t *testing.T) {
 	if !strings.Contains(out, "read") || !strings.Contains(out, "open") {
 		t.Fatalf("critpath table lacks the reads the shell issued:\n%s", out)
 	}
+	// No fleet run on this machine, so the SLO view reports the absence.
+	out, err = s.Run("slo")
+	if err != nil || !strings.Contains(out, "no service-level report") {
+		t.Fatalf("slo: %v\n%s", err, out)
+	}
 }
 
 func TestUsageAndNames(t *testing.T) {
 	names := CommandNames()
-	if len(names) != 10 || names[0] != "cat" {
+	if len(names) != 11 || names[0] != "cat" {
 		t.Fatalf("names = %v", names)
 	}
 	if !strings.Contains(Usage(), "grep <word> <file...>") {

@@ -1,0 +1,246 @@
+package netstack
+
+// Socket-lifecycle regression tests for the three bugs that were
+// invisible at two sockets and fatal at fleet scale: Bind(0) spinning
+// forever on ephemeral-port exhaustion, Close stranding blocked
+// receivers, and the 5µs RecvFromTimeout poll loop flooding the engine
+// with events. Plus churn coverage: rebind reuse, close-vs-timeout
+// races, and delivery to a port rebound between send and delivery.
+
+import (
+	"testing"
+
+	"genesys/internal/errno"
+	"genesys/internal/sim"
+)
+
+// Regression (bind exhaustion): with every ephemeral port bound, Bind(0)
+// must fail with EADDRINUSE after one scan of the range — the pre-fix
+// code looped forever. Also checks that freeing any single port makes
+// Bind(0) succeed again.
+func TestBindEphemeralExhaustion(t *testing.T) {
+	_, st := newStack(1)
+	n := EphemeralMax - EphemeralMin + 1
+	socks := make([]*Socket, 0, n)
+	for i := 0; i < n; i++ {
+		sk := st.NewSocket()
+		if err := sk.Bind(0); err != nil {
+			t.Fatalf("bind %d/%d: %v", i, n, err)
+		}
+		socks = append(socks, sk)
+	}
+	sk := st.NewSocket()
+	if err := sk.Bind(0); err != errno.EADDRINUSE {
+		t.Fatalf("bind with exhausted range = %v, want EADDRINUSE", err)
+	}
+	// Free one port in the middle; the next Bind(0) must find it.
+	freed := socks[n/2].Port()
+	socks[n/2].Close()
+	if err := sk.Bind(0); err != nil {
+		t.Fatalf("bind after freeing a port: %v", err)
+	}
+	if sk.Port() != freed {
+		t.Fatalf("rebound port = %d, want freed port %d", sk.Port(), freed)
+	}
+}
+
+// Regression (close strands receivers): a receiver parked in RecvFrom
+// must wake with EBADF when another activity closes the socket — the
+// pre-fix code left it blocked forever (engine deadlock).
+func TestCloseWakesBlockedReceiver(t *testing.T) {
+	e, st := newStack(1)
+	sk := st.NewSocket()
+	sk.Bind(700)
+	var gotErr error
+	done := false
+	e.Spawn("receiver", func(p *sim.Proc) {
+		_, gotErr = sk.RecvFrom(p)
+		done = true
+	})
+	e.Spawn("closer", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		sk.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done || gotErr != errno.EBADF {
+		t.Fatalf("receiver done=%v err=%v, want EBADF", done, gotErr)
+	}
+}
+
+// Regression (close vs timeout): a timed receiver must observe a
+// concurrent Close immediately — at close time, not at its deadline.
+func TestCloseBeatsTimeoutDeadline(t *testing.T) {
+	e, st := newStack(1)
+	sk := st.NewSocket()
+	sk.Bind(701)
+	var gotErr error
+	var wokeAt sim.Time
+	e.Spawn("receiver", func(p *sim.Proc) {
+		_, gotErr = sk.RecvFromTimeout(p, sim.Second)
+		wokeAt = e.Now()
+	})
+	e.Spawn("closer", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		sk.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotErr != errno.EBADF {
+		t.Fatalf("err = %v, want EBADF", gotErr)
+	}
+	if wokeAt != 50*sim.Microsecond {
+		t.Fatalf("woke at %v, want 50µs (close time, not 1s deadline)", wokeAt)
+	}
+}
+
+// The race in the other direction: the deadline fires just as a datagram
+// is still in flight — receiver gets EAGAIN, and the late datagram stays
+// queued for the next read.
+func TestTimeoutVsLateDelivery(t *testing.T) {
+	e, st := newStack(1)
+	sk := st.NewSocket()
+	sk.Bind(702)
+	src := st.NewSocket()
+	var first, second error
+	e.Spawn("receiver", func(p *sim.Proc) {
+		_, first = sk.RecvFromTimeout(p, 10*sim.Microsecond)
+		p.Sleep(30 * sim.Microsecond)
+		_, second = sk.RecvFromTimeout(p, 0)
+	})
+	e.Spawn("sender", func(p *sim.Proc) {
+		src.SendTo(702, []byte("late")) // arrives at 20µs, after the 10µs deadline
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first != errno.EAGAIN {
+		t.Fatalf("first recv = %v, want EAGAIN", first)
+	}
+	if second != nil {
+		t.Fatalf("second recv = %v, want late datagram", second)
+	}
+}
+
+// Regression (event-driven timed wait): a long timed wait must cost O(1)
+// engine events, not deadline/5µs. The pre-fix poll loop burned ~200
+// events per millisecond of waiting.
+func TestTimedRecvIsEventDriven(t *testing.T) {
+	e, st := newStack(1)
+	sk := st.NewSocket()
+	sk.Bind(703)
+	e.Spawn("receiver", func(p *sim.Proc) {
+		if _, err := sk.RecvFromTimeout(p, 10*sim.Millisecond); err != errno.EAGAIN {
+			t.Errorf("recv = %v, want EAGAIN", err)
+		}
+	})
+	before := e.Stats().Scheduled
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := e.Stats().Scheduled - before
+	// One deadline timer plus a handful of scheduling events; the poll
+	// loop would have scheduled ~2000.
+	if events > 10 {
+		t.Fatalf("10ms timed wait scheduled %d events, want O(1)", events)
+	}
+}
+
+// Churn: close and rebind reuses the port, EADDRINUSE while held, and a
+// datagram sent to the old binding is delivered to the new one when it
+// lands after the rebind — the port table is consulted at delivery time.
+func TestChurnRebindAndLateDelivery(t *testing.T) {
+	e, st := newStack(1)
+	src := st.NewSocket()
+	a := st.NewSocket()
+	if err := a.Bind(800); err != nil {
+		t.Fatal(err)
+	}
+	b := st.NewSocket()
+	if err := b.Bind(800); err != errno.EADDRINUSE {
+		t.Fatalf("conflict bind = %v, want EADDRINUSE", err)
+	}
+	var got Datagram
+	var recvErr error
+	e.Spawn("churn", func(p *sim.Proc) {
+		// Datagram launched at the old socket; it lands at 20µs.
+		src.SendTo(800, []byte("handoff"))
+		p.Sleep(5 * sim.Microsecond)
+		a.Close() // old binding gone at 5µs
+		if err := b.Bind(800); err != nil {
+			t.Errorf("rebind after close: %v", err)
+		}
+		got, recvErr = b.RecvFrom(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvErr != nil || string(got.Data) != "handoff" {
+		t.Fatalf("rebound socket got (%q, %v), want the in-flight datagram", got.Data, recvErr)
+	}
+}
+
+// Closing an accepted stream connection must not unbind its listener,
+// even though the connection reports the listener's port.
+func TestConnCloseKeepsListenerBound(t *testing.T) {
+	e, st := newStack(1)
+	lst := st.NewStreamSocket()
+	if err := lst.Bind(900); err != nil {
+		t.Fatal(err)
+	}
+	if err := lst.Listen(4); err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("server", func(p *sim.Proc) {
+		conn, err := lst.Accept(p)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		if conn.Port() != 900 {
+			t.Errorf("conn port = %d, want listener's 900", conn.Port())
+		}
+		conn.Close()
+		// Listener must still own port 900.
+		probe := st.NewStreamSocket()
+		if err := probe.Bind(900); err != errno.EADDRINUSE {
+			t.Errorf("bind 900 after conn close = %v, want EADDRINUSE (listener still bound)", err)
+		}
+	})
+	e.Spawn("client", func(p *sim.Proc) {
+		c := st.NewStreamSocket()
+		if err := c.Connect(p, 900); err != nil {
+			t.Errorf("connect: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Callback-mode sockets receive datagrams from the delivery event with
+// no blocked process and no queueing.
+func TestRecvHandlerCallbackMode(t *testing.T) {
+	e, st := newStack(1)
+	sk := st.NewSocket()
+	sk.Bind(950)
+	var got []sim.Time
+	sk.SetRecvHandler(func(dg Datagram) { got = append(got, e.Now()) })
+	src := st.NewSocket()
+	e.Spawn("sender", func(p *sim.Proc) {
+		src.SendTo(950, []byte("a"))
+		p.Sleep(7 * sim.Microsecond)
+		src.SendTo(950, []byte("b"))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || sk.QueueLen() != 0 {
+		t.Fatalf("handler calls = %d (queue %d), want 2 deliveries, empty queue", len(got), sk.QueueLen())
+	}
+	if got[0] != 20*sim.Microsecond || got[1] != 27*sim.Microsecond {
+		t.Fatalf("delivery times = %v", got)
+	}
+}

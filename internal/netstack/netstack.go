@@ -1,8 +1,11 @@
-// Package netstack models a minimal UDP stack: datagram sockets with
-// bind/sendto/recvfrom semantics, bounded receive queues (overflowing
-// datagrams are dropped, as UDP does), and configurable delivery latency.
+// Package netstack models a minimal IP stack: UDP-like datagram sockets
+// with bind/sendto/recvfrom semantics, bounded receive queues (overflowing
+// datagrams are dropped, as UDP does), TCP-like stream sockets with
+// connect/listen/accept/backlog semantics (stream.go), poll-style
+// readiness multiplexing (poll.go), and configurable delivery latency.
 // It is the substrate for the paper's memcached case study (§VIII-D),
-// which GENESYS serves with plain POSIX sendto/recvfrom — no RDMA.
+// which GENESYS serves with plain POSIX sendto/recvfrom — no RDMA — and
+// for the million-client service-fleet scenario layered on top of it.
 package netstack
 
 import (
@@ -12,22 +15,31 @@ import (
 	"genesys/internal/sim"
 )
 
+// Ephemeral port range for Bind(0), matching Linux's default
+// net.ipv4.ip_local_port_range.
+const (
+	EphemeralMin = 32768
+	EphemeralMax = 60999
+)
+
 // Config holds stack parameters.
 type Config struct {
 	DeliveryLatency sim.Time // one-way datagram latency
 	JitterMax       sim.Time // uniform extra latency [0, JitterMax)
 	RecvQueueCap    int      // per-socket receive queue capacity
 	MaxDatagram     int      // maximum payload size
+	StreamWindow    int      // per-connection stream receive window (bytes)
 }
 
 // DefaultConfig returns a LAN-like stack: 20 us delivery, 5 us jitter,
-// 512-datagram socket buffers, 64 KiB max payload.
+// 512-datagram socket buffers, 64 KiB max payload, 64 KiB stream windows.
 func DefaultConfig() Config {
 	return Config{
 		DeliveryLatency: 20 * sim.Microsecond,
 		JitterMax:       5 * sim.Microsecond,
 		RecvQueueCap:    512,
 		MaxDatagram:     64 << 10,
+		StreamWindow:    64 << 10,
 	}
 }
 
@@ -52,6 +64,11 @@ type Stack struct {
 
 	Sent    sim.Counter
 	Dropped sim.Counter
+
+	// Stream-socket accounting (stream.go).
+	StreamConns   sim.Counter // connections ever established
+	StreamRefused sim.Counter // connects refused (no listener / backlog full)
+	StreamBytes   sim.Counter // payload bytes delivered over streams
 }
 
 // SetEventLog attaches the machine's structured event log; every dropped
@@ -77,33 +94,124 @@ func New(e *sim.Engine, cfg Config) *Stack {
 	if cfg.MaxDatagram <= 0 {
 		cfg.MaxDatagram = 64 << 10
 	}
-	return &Stack{e: e, cfg: cfg, ports: make(map[int]*Socket), nextEphemeral: 32768}
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = 64 << 10
+	}
+	return &Stack{e: e, cfg: cfg, ports: make(map[int]*Socket), nextEphemeral: EphemeralMin}
 }
 
 // Config returns the stack configuration.
 func (s *Stack) Config() Config { return s.cfg }
 
-// Socket is a UDP socket.
-type Socket struct {
-	stack *Stack
-	port  int // 0 = unbound
-	recvQ *sim.Queue[Datagram]
-	open  bool
+// SockType distinguishes datagram (UDP-like) from stream (TCP-like)
+// sockets.
+type SockType int
+
+const (
+	// Dgram is a connectionless datagram socket (SOCK_DGRAM).
+	Dgram SockType = iota
+	// Stream is a connection-oriented byte-stream socket (SOCK_STREAM).
+	Stream
+)
+
+func (t SockType) String() string {
+	if t == Stream {
+		return "stream"
+	}
+	return "dgram"
 }
 
-// NewSocket creates an unbound socket.
-func (s *Stack) NewSocket() *Socket {
+// Socket is one endpoint: a datagram socket, a stream listener, or one
+// side of an established stream connection.
+type Socket struct {
+	stack *Stack
+	typ   SockType
+	port  int // 0 = unbound
+	open  bool
+
+	// rx is the readiness condition: signaled on datagram arrival, stream
+	// data/EOF, pending connections, and broadcast on close — every
+	// blocking receive-side wait parks here.
+	rx *sim.Cond
+
+	// Datagram receive queue.
+	rq []Datagram
+
+	// handler, when set, receives arriving datagrams directly instead of
+	// queueing them — the callback mode event-driven clients (the fleet
+	// load generator) use to exist without a blocked process each.
+	handler func(Datagram)
+
+	// Stream state (stream.go).
+	listening  bool
+	backlog    []*Socket // established, not yet accepted connections
+	backlogMax int
+	peer       *Socket   // the other endpoint of an established connection
+	remotePort int       // peer's port, fixed at establishment
+	connected  bool      // Connect completed (client side)
+	connErr    errno.Errno
+	rbuf       []byte    // stream receive buffer (bounded by StreamWindow)
+	inFlight   int       // bytes sent, not yet landed in rbuf
+	peerClosed bool      // peer's FIN arrived: EOF after rbuf drains
+	finPending bool      // FIN arrived while data was still in flight
+	reset      bool      // peer closed abruptly (listener teardown): ECONNRESET
+	txSpace    *sim.Cond // send-side wait for receive-window space
+
+	// watchers are the pollers currently multiplexing this socket
+	// (poll.go); every readiness transition wakes them. A slice, not a
+	// map: notification order must be deterministic for the engine's
+	// bit-reproducibility guarantee.
+	watchers []*Poller
+}
+
+// NewSocket creates an unbound datagram socket.
+func (s *Stack) NewSocket() *Socket { return s.newSocket(Dgram) }
+
+// NewStreamSocket creates an unbound stream socket.
+func (s *Stack) NewStreamSocket() *Socket { return s.newSocket(Stream) }
+
+func (s *Stack) newSocket(t SockType) *Socket {
 	return &Socket{
-		stack: s,
-		recvQ: sim.NewQueue[Datagram](s.e, "udp-recv", s.cfg.RecvQueueCap),
-		open:  true,
+		stack:   s,
+		typ:     t,
+		open:    true,
+		rx:      sim.NewCond(s.e),
+		txSpace: sim.NewCond(s.e),
 	}
 }
+
+// Type returns the socket type.
+func (sk *Socket) Type() SockType { return sk.typ }
 
 // Port returns the bound port (0 if unbound).
 func (sk *Socket) Port() int { return sk.port }
 
+// Open reports whether the socket has not been closed.
+func (sk *Socket) Open() bool { return sk.open }
+
+// RemotePort returns the peer's port for an established stream socket
+// (0 otherwise).
+func (sk *Socket) RemotePort() int { return sk.remotePort }
+
+// wakeReady notifies everything waiting for this socket to become
+// readable: one blocked receiver (they consume one event each; close and
+// EOF broadcast separately) and every poll group watching the socket.
+func (sk *Socket) wakeReady() {
+	sk.rx.Signal()
+	sk.notifyWatchers()
+}
+
+// wakeAll wakes every blocked receiver and watcher — used for state
+// changes that are visible to all waiters at once (close, EOF).
+func (sk *Socket) wakeAll() {
+	sk.rx.Broadcast()
+	sk.txSpace.Broadcast()
+	sk.notifyWatchers()
+}
+
 // Bind attaches the socket to a port; port 0 picks an ephemeral one.
+// When every ephemeral port is in use, Bind(0) fails with EADDRINUSE
+// after one full scan of the range rather than spinning forever.
 func (sk *Socket) Bind(port int) error {
 	if !sk.open {
 		return errno.EBADF
@@ -113,14 +221,18 @@ func (sk *Socket) Bind(port int) error {
 	}
 	st := sk.stack
 	if port == 0 {
+		start := st.nextEphemeral
 		for {
 			st.nextEphemeral++
-			if st.nextEphemeral > 60999 {
-				st.nextEphemeral = 32768
+			if st.nextEphemeral > EphemeralMax {
+				st.nextEphemeral = EphemeralMin
 			}
 			if _, used := st.ports[st.nextEphemeral]; !used {
 				port = st.nextEphemeral
 				break
+			}
+			if st.nextEphemeral == start {
+				return errno.EADDRINUSE // full wrap: range exhausted
 			}
 		}
 	} else if _, used := st.ports[port]; used {
@@ -131,16 +243,25 @@ func (sk *Socket) Bind(port int) error {
 	return nil
 }
 
-// Close releases the socket and its port.
+// Close releases the socket and its port. Every process blocked on the
+// socket — receivers parked in RecvFrom/RecvFromTimeout, accepters in
+// Accept, senders waiting for stream window space — is woken and observes
+// EBADF; pending and established stream peers see a reset/EOF (stream.go).
 func (sk *Socket) Close() {
 	if !sk.open {
 		return
 	}
 	sk.open = false
-	if sk.port != 0 {
+	// Accepted stream connections report the listener's port without
+	// owning the port-table entry, so only the owner releases it.
+	if sk.port != 0 && sk.stack.ports[sk.port] == sk {
 		delete(sk.stack.ports, sk.port)
-		sk.port = 0
 	}
+	sk.port = 0
+	if sk.typ == Stream {
+		sk.closeStream()
+	}
+	sk.wakeAll()
 }
 
 // ensureBound lazily binds an ephemeral port (sendto on unbound socket).
@@ -151,12 +272,30 @@ func (sk *Socket) ensureBound() error {
 	return nil
 }
 
+// delay returns the one-way delivery latency including jitter.
+func (s *Stack) delay() sim.Time {
+	d := s.cfg.DeliveryLatency
+	if s.cfg.JitterMax > 0 {
+		d += sim.Time(s.e.Rand.Int63n(int64(s.cfg.JitterMax)))
+	}
+	return d
+}
+
 // SendTo transmits data to dstPort. Delivery happens after the stack
 // latency; if the destination queue is full the datagram is dropped.
 // Safe to call from procs; the wire latency is not charged to the sender.
+// On a connected stream socket dstPort is ignored and the bytes go to the
+// peer (send(2) semantics — see stream.go).
 func (sk *Socket) SendTo(dstPort int, data []byte) error {
 	if !sk.open {
 		return errno.EBADF
+	}
+	if sk.typ == Stream {
+		if sk.peer == nil {
+			return errno.ENOTCONN
+		}
+		_, err := sk.sendStream(data)
+		return err
 	}
 	if len(data) > sk.stack.cfg.MaxDatagram {
 		return errno.EMSGSIZE
@@ -175,71 +314,98 @@ func (sk *Socket) SendTo(dstPort int, data []byte) error {
 	payload := make([]byte, len(data))
 	copy(payload, data)
 	dg := Datagram{SrcPort: sk.port, DstPort: dstPort, Data: payload, SentAt: st.e.Now()}
-	delay := st.cfg.DeliveryLatency
-	if st.cfg.JitterMax > 0 {
-		delay += sim.Time(st.e.Rand.Int63n(int64(st.cfg.JitterMax)))
-	}
 	st.Sent.Inc()
-	st.e.CallAfter(delay, func() {
+	st.e.CallAfter(st.delay(), func() {
 		if st.inject.Should(fault.NetDrop) {
 			st.noteDrop(dg) // lost in flight
 			return
 		}
 		dst, ok := st.ports[dg.DstPort]
-		if !ok || !dst.open {
+		if !ok || !dst.open || dst.typ != Dgram {
 			st.noteDrop(dg)
 			return
 		}
-		if !dst.recvQ.TryPut(dg) {
-			st.noteDrop(dg)
+		if dst.handler != nil {
+			dst.handler(dg) // callback-mode socket: no queue, no waiters
+			return
 		}
+		if len(dst.rq) >= st.cfg.RecvQueueCap {
+			st.noteDrop(dg)
+			return
+		}
+		dst.rq = append(dst.rq, dg)
+		dst.wakeReady()
 	})
 	return nil
 }
 
-// RecvFrom blocks until a datagram arrives and returns it.
+// RecvFrom blocks until a datagram arrives and returns it. A Close from
+// another activity wakes the receiver with EBADF instead of stranding it.
 func (sk *Socket) RecvFrom(p *sim.Proc) (Datagram, error) {
-	if !sk.open {
-		return Datagram{}, errno.EBADF
-	}
-	return sk.recvQ.Get(p), nil
+	return sk.RecvFromTimeout(p, 0)
 }
-
-// recvPollInterval paces the RecvFromTimeout wait loop.
-const recvPollInterval = 5 * sim.Microsecond
 
 // RecvFromTimeout is RecvFrom bounded by d: it returns EAGAIN when no
 // datagram arrives before the deadline — the escape hatch applications
-// need on a lossy network, where a dropped request would otherwise
-// block the receiver forever. d <= 0 blocks indefinitely.
+// need on a lossy network, where a dropped request would otherwise block
+// the receiver forever. d <= 0 blocks indefinitely. The wait is
+// event-driven (queue wake-up plus one deadline timer), and a concurrent
+// Close wakes the waiter immediately with EBADF rather than letting it
+// sleep to its deadline.
 func (sk *Socket) RecvFromTimeout(p *sim.Proc, d sim.Time) (Datagram, error) {
-	if !sk.open {
-		return Datagram{}, errno.EBADF
+	if sk.typ == Stream {
+		return Datagram{}, errno.EINVAL
 	}
-	if d <= 0 {
-		return sk.recvQ.Get(p), nil
+	var deadline sim.Time
+	if d > 0 {
+		deadline = sk.stack.e.Now() + d
 	}
-	deadline := sk.stack.e.Now() + d
 	for {
-		if dg, ok := sk.recvQ.TryGet(); ok {
+		if !sk.open {
+			return Datagram{}, errno.EBADF
+		}
+		if len(sk.rq) > 0 {
+			dg := sk.rq[0]
+			sk.rq = sk.rq[1:]
 			return dg, nil
 		}
-		now := sk.stack.e.Now()
-		if now >= deadline {
+		if deadline == 0 {
+			sk.rx.Wait(p, "udp recv")
+			continue
+		}
+		if sk.rx.WaitDeadline(p, "udp recv (timed)", deadline) {
 			return Datagram{}, errno.EAGAIN
 		}
-		wait := deadline - now
-		if wait > recvPollInterval {
-			wait = recvPollInterval
-		}
-		p.Sleep(wait)
 	}
 }
+
+// SetRecvHandler switches a datagram socket into callback mode: arriving
+// datagrams are handed to fn from the engine's delivery event instead of
+// being queued for a blocking receiver. This lets very large client
+// populations (the fleet load generator) run as pure event-driven state
+// machines with no parked process per socket. fn runs in engine-callback
+// context and must not block; pass nil to restore queueing.
+func (sk *Socket) SetRecvHandler(fn func(Datagram)) { sk.handler = fn }
 
 // TryRecv returns a queued datagram without blocking.
 func (sk *Socket) TryRecv() (Datagram, bool) {
-	return sk.recvQ.TryGet()
+	if !sk.open || sk.typ != Dgram || len(sk.rq) == 0 {
+		return Datagram{}, false
+	}
+	dg := sk.rq[0]
+	sk.rq = sk.rq[1:]
+	return dg, true
 }
 
-// QueueLen returns the receive queue depth.
-func (sk *Socket) QueueLen() int { return sk.recvQ.Len() }
+// QueueLen returns the receive queue depth (datagrams for Dgram sockets,
+// pending connections for listeners, buffered bytes for stream peers).
+func (sk *Socket) QueueLen() int {
+	switch {
+	case sk.typ == Dgram:
+		return len(sk.rq)
+	case sk.listening:
+		return len(sk.backlog)
+	default:
+		return len(sk.rbuf)
+	}
+}

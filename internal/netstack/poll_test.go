@@ -1,0 +1,203 @@
+package netstack
+
+import (
+	"testing"
+
+	"genesys/internal/errno"
+	"genesys/internal/sim"
+)
+
+// One poller multiplexing many datagram sockets: Wait wakes when any of
+// them becomes readable and reports exactly the ready ones, in
+// registration order.
+func TestPollerMultiplexesDatagramSockets(t *testing.T) {
+	e, st := newStack(1)
+	const n = 8
+	socks := make([]*Socket, n)
+	pg := st.NewPoller()
+	for i := range socks {
+		socks[i] = st.NewSocket()
+		if err := socks[i].Bind(2000 + i); err != nil {
+			t.Fatal(err)
+		}
+		if err := pg.Add(socks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := st.NewSocket()
+	var ready []*Socket
+	var waitErr error
+	e.Spawn("poller", func(p *sim.Proc) {
+		ready, waitErr = pg.Wait(p, 0)
+	})
+	e.Spawn("sender", func(p *sim.Proc) {
+		src.SendTo(2003, []byte("x"))
+		src.SendTo(2006, []byte("y"))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waitErr != nil {
+		t.Fatal(waitErr)
+	}
+	// Both datagrams land at the same delivery latency; whichever wakes
+	// the poller first, the level-triggered scan sees both in
+	// registration order.
+	if len(ready) != 2 || ready[0] != socks[3] || ready[1] != socks[6] {
+		t.Fatalf("ready = %d sockets, want [2003 2006]", len(ready))
+	}
+}
+
+func TestPollerTimeoutAndEmptySet(t *testing.T) {
+	e, st := newStack(1)
+	pg := st.NewPoller()
+	sk := st.NewSocket()
+	sk.Bind(2100)
+	pg.Add(sk)
+	var timedErr, emptyErr error
+	var at sim.Time
+	e.Spawn("poller", func(p *sim.Proc) {
+		_, timedErr = pg.Wait(p, 40*sim.Microsecond)
+		at = e.Now()
+		pg.Remove(sk)
+		_, emptyErr = pg.Wait(p, sim.Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if timedErr != errno.EAGAIN || at != 40*sim.Microsecond {
+		t.Fatalf("timed wait = %v at %v, want EAGAIN at 40µs", timedErr, at)
+	}
+	if emptyErr != errno.EINVAL {
+		t.Fatalf("empty-set wait = %v, want EINVAL", emptyErr)
+	}
+}
+
+// Level-triggered: an unconsumed socket stays ready on the next Wait.
+func TestPollerLevelTriggered(t *testing.T) {
+	e, st := newStack(1)
+	pg := st.NewPoller()
+	sk := st.NewSocket()
+	sk.Bind(2200)
+	pg.Add(sk)
+	src := st.NewSocket()
+	var again []*Socket
+	e.Spawn("poller", func(p *sim.Proc) {
+		first, err := pg.Wait(p, 0)
+		if err != nil || len(first) != 1 {
+			t.Errorf("first wait = %v, %v", first, err)
+			return
+		}
+		// Don't consume; poll again with a timeout — still ready, at once.
+		again, _ = pg.Wait(p, sim.Second)
+		if e.Now() != st.Config().DeliveryLatency {
+			t.Errorf("second wait blocked until %v", e.Now())
+		}
+		if _, ok := sk.TryRecv(); !ok {
+			t.Error("datagram missing")
+		}
+	})
+	e.Spawn("sender", func(p *sim.Proc) { src.SendTo(2200, []byte("x")) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 1 {
+		t.Fatalf("unconsumed socket not ready on re-poll")
+	}
+}
+
+// A poller over a listener and stream connections: pending accepts,
+// stream data, and EOF are all readiness events.
+func TestPollerStreamsAndListener(t *testing.T) {
+	e, st := newStack(1)
+	lst := st.NewStreamSocket()
+	lst.Bind(2300)
+	lst.Listen(4)
+	pg := st.NewPoller()
+	pg.Add(lst)
+	e.Spawn("server", func(p *sim.Proc) {
+		// Wait for the pending connection via poll, not Accept.
+		ready, err := pg.Wait(p, 0)
+		if err != nil || len(ready) != 1 || ready[0] != lst {
+			t.Errorf("poll for accept = %v, %v", ready, err)
+			return
+		}
+		conn, err := lst.Accept(p)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		pg.Add(conn)
+		// Next readiness: data on the connection (listener has nothing).
+		ready, err = pg.Wait(p, 0)
+		if err != nil || len(ready) != 1 || ready[0] != conn {
+			t.Errorf("poll for data = %v, %v", ready, err)
+			return
+		}
+		buf := make([]byte, 16)
+		n, _ := conn.Recv(p, buf)
+		if string(buf[:n]) != "req" {
+			t.Errorf("data = %q", buf[:n])
+		}
+		// Next readiness: EOF after the client closes.
+		ready, err = pg.Wait(p, 0)
+		if err != nil || len(ready) != 1 || ready[0] != conn {
+			t.Errorf("poll for EOF = %v, %v", ready, err)
+			return
+		}
+		if n, err := conn.Recv(p, buf); n != 0 || err != nil {
+			t.Errorf("EOF read = (%d, %v)", n, err)
+		}
+	})
+	e.Spawn("client", func(p *sim.Proc) {
+		c := st.NewStreamSocket()
+		if err := c.Connect(p, 2300); err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		if _, err := c.Send(p, []byte("req")); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		p.Sleep(100 * sim.Microsecond)
+		c.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Closing a watched socket wakes the poller (closed sockets report
+// readable so waiters can observe EBADF); closing the poller itself
+// wakes blocked waiters with EBADF.
+func TestPollerCloseSemantics(t *testing.T) {
+	e, st := newStack(1)
+	pg := st.NewPoller()
+	sk := st.NewSocket()
+	sk.Bind(2400)
+	pg.Add(sk)
+	e.Spawn("poller", func(p *sim.Proc) {
+		ready, err := pg.Wait(p, 0)
+		if err != nil || len(ready) != 1 || !ready[0].Readable() || ready[0].Open() {
+			t.Errorf("wait after socket close = %v, %v", ready, err)
+		}
+		pg.Remove(sk)
+		sk2 := st.NewSocket()
+		sk2.Bind(2401)
+		pg.Add(sk2)
+		if _, err := pg.Wait(p, 0); err != errno.EBADF {
+			t.Errorf("wait after poller close = %v, want EBADF", err)
+		}
+	})
+	e.Spawn("closer", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		sk.Close()
+		p.Sleep(10 * sim.Microsecond)
+		pg.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pg.Len() != 0 {
+		t.Fatalf("closed poller holds %d sockets", pg.Len())
+	}
+}

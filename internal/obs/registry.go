@@ -125,6 +125,8 @@ type Observer struct {
 	Metrics *Registry
 	Events  *EventLog
 	Util    *Util
+
+	slo *SLOReport // current run's service-level report (slo.go)
 }
 
 // New returns an Observer with an empty registry, a disabled event log

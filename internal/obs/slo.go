@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SLOClass is one traffic class of a service-fleet run (e.g. "udp",
+// "stream"): offered vs. completed load, the latency distribution the
+// clients observed, and the failure taxonomy.
+type SLOClass struct {
+	Offered   int64 `json:"offered"`   // requests the load generator issued
+	Completed int64 `json:"completed"` // requests answered in time
+	Timeouts  int64 `json:"timeouts"`  // requests that hit the client deadline
+	Drops     int64 `json:"drops"`     // requests lost in the stack (no reply ever)
+	Refused   int64 `json:"refused"`   // requests refused up front (connect/port errors)
+
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// SLOReport is the per-run service-level summary exported at
+// /sys/genesys/slo and written next to the BENCH_*.json artifacts. All
+// rates are derived, not stored, so the report stays byte-stable.
+type SLOReport struct {
+	Workload   string `json:"workload"`
+	Seed       int64  `json:"seed"`
+	Clients    int    `json:"clients"`
+	Sessions   int64  `json:"sessions"` // connection-churn total (distinct client sessions)
+	DurationNs int64  `json:"duration_ns"`
+	GoodputRPS int64  `json:"goodput_rps"` // completed requests per simulated second
+
+	Classes map[string]*SLOClass `json:"classes"`
+}
+
+// Class returns the named traffic class, creating it on first use.
+func (s *SLOReport) Class(name string) *SLOClass {
+	if s.Classes == nil {
+		s.Classes = make(map[string]*SLOClass)
+	}
+	c, ok := s.Classes[name]
+	if !ok {
+		c = &SLOClass{}
+		s.Classes[name] = c
+	}
+	return c
+}
+
+// Finalize derives the aggregate goodput from the class totals and the
+// run duration.
+func (s *SLOReport) Finalize() {
+	var completed int64
+	for _, c := range s.Classes {
+		completed += c.Completed
+	}
+	if s.DurationNs > 0 {
+		s.GoodputRPS = completed * 1e9 / s.DurationNs
+	}
+}
+
+// JSON renders the report as stable, indented JSON (map keys sorted by
+// encoding/json), suitable for byte-identity gates.
+func (s *SLOReport) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic("obs: slo marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// Render produces the human-readable /sys/genesys/slo view.
+func (s *SLOReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s\nseed %d\nclients %d\nsessions %d\nduration_ns %d\ngoodput_rps %d\n",
+		s.Workload, s.Seed, s.Clients, s.Sessions, s.DurationNs, s.GoodputRPS)
+	names := make([]string, 0, len(s.Classes))
+	for n := range s.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := s.Classes[n]
+		fmt.Fprintf(&b, "%s.offered %d\n%s.completed %d\n%s.timeouts %d\n%s.drops %d\n%s.refused %d\n",
+			n, c.Offered, n, c.Completed, n, c.Timeouts, n, c.Drops, n, c.Refused)
+		fmt.Fprintf(&b, "%s.p50_ns %d\n%s.p99_ns %d\n%s.p999_ns %d\n%s.max_ns %d\n",
+			n, c.P50Ns, n, c.P99Ns, n, c.P999Ns, n, c.MaxNs)
+	}
+	return b.String()
+}
+
+// SetSLO installs the current run's service-level report; /sys/genesys/slo
+// serves it. A nil report clears it.
+func (o *Observer) SetSLO(r *SLOReport) { o.slo = r }
+
+// SLO returns the installed report, or nil if no fleet run has produced
+// one.
+func (o *Observer) SLO() *SLOReport { return o.slo }

@@ -207,6 +207,9 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 
 	reg.RegisterCounter("netstack.sent", &m.Net.Sent)
 	reg.RegisterCounter("netstack.dropped", &m.Net.Dropped)
+	reg.RegisterCounter("netstack.stream_conns", &m.Net.StreamConns)
+	reg.RegisterCounter("netstack.stream_refused", &m.Net.StreamRefused)
+	reg.RegisterCounter("netstack.stream_bytes", &m.Net.StreamBytes)
 
 	reg.RegisterCounter("fault.injected", &m.Inject.Injected)
 	reg.RegisterCounter("fault.recovered", &m.Inject.Recovered)
@@ -298,6 +301,12 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 		}})
 		m.OS.SysfsRoot.Add("util", &fs.GenFile{Gen: func() []byte {
 			return []byte(util.Render(m.E.Now()))
+		}})
+		m.OS.SysfsRoot.Add("slo", &fs.GenFile{Gen: func() []byte {
+			if s := m.Obs.SLO(); s != nil {
+				return []byte(s.Render())
+			}
+			return []byte("no service-level report (no fleet run yet)\n")
 		}})
 	}
 }

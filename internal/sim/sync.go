@@ -6,7 +6,16 @@ package sim
 // changed again by the time it runs.
 type Cond struct {
 	e       *Engine
-	waiters []*Proc
+	waiters []*condWaiter
+}
+
+// condWaiter is one blocked process; tmr is non-nil for deadline-bounded
+// waits (WaitDeadline) and is canceled when a Signal/Broadcast wins the
+// race against the deadline.
+type condWaiter struct {
+	p        *Proc
+	tmr      *Timer
+	timedOut bool
 }
 
 // NewCond returns a condition variable bound to e.
@@ -15,8 +24,44 @@ func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 // Wait blocks p until another activity calls Signal or Broadcast. The
 // reason string appears in deadlock reports.
 func (c *Cond) Wait(p *Proc, reason string) {
-	c.waiters = append(c.waiters, p)
+	c.waiters = append(c.waiters, &condWaiter{p: p})
 	p.block(reason)
+}
+
+// WaitDeadline blocks p until a Signal/Broadcast wakes it or virtual time
+// reaches deadline, whichever comes first, and reports whether the wait
+// timed out. It costs exactly one timer — armed at block time, canceled
+// at wake-up — so a timed wait is event-driven rather than a poll loop.
+// A deadline at or before the current time returns true without blocking.
+// As with Wait, a false return only means the waiter was woken: the
+// predicate must be re-checked by the caller.
+func (c *Cond) WaitDeadline(p *Proc, reason string, deadline Time) (timedOut bool) {
+	if deadline <= c.e.now {
+		return true
+	}
+	w := &condWaiter{p: p}
+	w.tmr = c.e.At(deadline, func() {
+		if c.remove(w) {
+			w.timedOut = true
+			w.p.unblock()
+		}
+	})
+	c.waiters = append(c.waiters, w)
+	p.block(reason)
+	w.tmr.Cancel() // no-op when the deadline already fired
+	return w.timedOut
+}
+
+// remove unlinks w from the waiter list, reporting whether it was still
+// queued (false means a Signal/Broadcast already claimed it).
+func (c *Cond) remove(w *condWaiter) bool {
+	for i, cw := range c.waiters {
+		if cw == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Signal wakes the longest-waiting process, if any.
@@ -24,17 +69,19 @@ func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
 	}
-	p := c.waiters[0]
+	w := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	p.unblock()
+	w.tmr.Cancel()
+	w.p.unblock()
 }
 
 // Broadcast wakes every waiting process.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
-	for _, p := range ws {
-		p.unblock()
+	for _, w := range ws {
+		w.tmr.Cancel()
+		w.p.unblock()
 	}
 }
 

@@ -1,0 +1,137 @@
+package sim
+
+import "testing"
+
+// WaitDeadline with no signal returns timedOut=true exactly at the
+// deadline.
+func TestWaitDeadlineTimesOut(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var timedOut bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		timedOut = c.WaitDeadline(p, "test", 100*Microsecond)
+		at = e.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut || at != 100*Microsecond {
+		t.Fatalf("timedOut=%v at %v, want true at 100µs", timedOut, at)
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("stale waiter after timeout")
+	}
+}
+
+// A Signal before the deadline wins: timedOut=false, the deadline timer
+// is canceled (no stray event later), and the waiter resumes at signal
+// time.
+func TestWaitDeadlineSignalWins(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var timedOut bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		timedOut = c.WaitDeadline(p, "test", Second)
+		at = e.Now()
+	})
+	e.Spawn("signaler", func(p *Proc) {
+		p.Sleep(30 * Microsecond)
+		c.Signal()
+	})
+	canceledBefore := e.Stats().TimersCanceled
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if timedOut || at != 30*Microsecond {
+		t.Fatalf("timedOut=%v at %v, want false at 30µs", timedOut, at)
+	}
+	if e.Stats().TimersCanceled <= canceledBefore {
+		t.Fatalf("deadline timer not canceled on signal")
+	}
+	if e.Now() != 30*Microsecond {
+		t.Fatalf("engine ran to %v; canceled deadline still fired", e.Now())
+	}
+}
+
+// A deadline at or before now returns timedOut immediately, without
+// blocking or scheduling anything.
+func TestWaitDeadlineAlreadyPassed(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	e.Spawn("waiter", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		if !c.WaitDeadline(p, "test", 10*Microsecond) {
+			t.Error("deadline at now should time out immediately")
+		}
+		if !c.WaitDeadline(p, "test", 5*Microsecond) {
+			t.Error("deadline in the past should time out immediately")
+		}
+		if e.Now() != 10*Microsecond {
+			t.Errorf("immediate timeout advanced time to %v", e.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Broadcast wakes a mix of plain and deadline waiters; none of the
+// deadline timers fire afterwards.
+func TestWaitDeadlineBroadcastMix(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("waiter", func(p *Proc) {
+			if i%2 == 0 {
+				if c.WaitDeadline(p, "test", Second) {
+					t.Errorf("waiter %d timed out despite broadcast", i)
+				}
+			} else {
+				c.Wait(p, "test")
+			}
+			woke++
+		})
+	}
+	e.Spawn("caster", func(p *Proc) {
+		p.Sleep(50 * Microsecond)
+		c.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Fatalf("woke %d of 3 waiters", woke)
+	}
+	if e.Now() != 50*Microsecond {
+		t.Fatalf("engine ran to %v; a canceled deadline fired", e.Now())
+	}
+}
+
+// The timeout path and the signal path race at the same instant: the
+// signal was scheduled first, so it claims the waiter and the timer
+// must report not-timed-out.
+func TestWaitDeadlineSameInstantSignal(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var timedOut bool
+	e.Spawn("waiter", func(p *Proc) {
+		timedOut = c.WaitDeadline(p, "test", 20*Microsecond)
+	})
+	e.Spawn("signaler", func(p *Proc) {
+		p.Sleep(20 * Microsecond)
+		c.Signal() // same virtual instant as the deadline
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Either outcome is a woken waiter; the invariant is exactly one
+	// wake and no stale waiter.
+	if c.Waiters() != 0 {
+		t.Fatalf("stale waiter after same-instant race")
+	}
+	_ = timedOut
+}

@@ -471,9 +471,20 @@ func sysRtSigqueueinfo(c *Ctx, r *Request) {
 
 // --- networking ---
 
+// sysSocket: Args = [type] (0 = SOCK_DGRAM, 1 = SOCK_STREAM).
 func sysSocket(c *Ctx, r *Request) {
-	sock := c.OS.Net.NewSocket()
-	f := &fs.File{Special: sock, Path: "socket:[udp]"}
+	var sock *netstack.Socket
+	var path string
+	switch netstack.SockType(r.Args[0]) {
+	case netstack.Dgram:
+		sock, path = c.OS.Net.NewSocket(), "socket:[udp]"
+	case netstack.Stream:
+		sock, path = c.OS.Net.NewStreamSocket(), "socket:[tcp]"
+	default:
+		fail(r, errno.EINVAL)
+		return
+	}
+	f := &fs.File{Special: sock, Path: path}
 	fd, err := c.Proc.FDs.Install(f)
 	if err != nil {
 		sock.Close()
@@ -519,6 +530,17 @@ func sysSendto(c *Ctx, r *Request) {
 		count = len(r.Buf)
 	}
 	t0 := c.OS.E.Now()
+	if sock.Type() == netstack.Stream {
+		// send(2): dstPort ignored, blocks for window space, writes all.
+		n, serr := sock.Send(c.P, r.Buf[:count])
+		if serr != nil && n == 0 {
+			fail(r, serr)
+			return
+		}
+		netSpan(c, "send", r, sock.Port(), t0)
+		r.Ret = int64(n)
+		return
+	}
 	if err := sock.SendTo(int(r.Args[4]), r.Buf[:count]); err != nil {
 		fail(r, err)
 		return
@@ -552,6 +574,21 @@ func sysRecvfrom(c *Ctx, r *Request) {
 		return
 	}
 	t0 := c.OS.E.Now()
+	if sock.Type() == netstack.Stream {
+		count := int(r.Args[1])
+		if count > len(r.Buf) || count == 0 {
+			count = len(r.Buf)
+		}
+		n, rerr := sock.RecvTimeout(c.P, r.Buf[:count], sim.Time(r.Args[2]))
+		if rerr != nil {
+			fail(r, rerr)
+			return
+		}
+		netSpan(c, "recv", r, sock.Port(), t0)
+		r.Ret = int64(n)
+		r.OutArgs[0] = uint64(sock.RemotePort())
+		return
+	}
 	dg, err := sock.RecvFromTimeout(c.P, sim.Time(r.Args[2]))
 	if err != nil {
 		fail(r, err)

@@ -1,0 +1,144 @@
+package workloads_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"genesys/internal/fault"
+	"genesys/internal/obs"
+	"genesys/internal/platform"
+	"genesys/internal/sim"
+	"genesys/internal/workloads"
+)
+
+func parseSLO(t *testing.T, js []byte) *obs.SLOReport {
+	t.Helper()
+	var rep obs.SLOReport
+	if err := json.Unmarshal(js, &rep); err != nil {
+		t.Fatalf("bad SLO JSON: %v\n%s", err, js)
+	}
+	return &rep
+}
+
+func runFleet(t *testing.T, cfg workloads.FleetConfig, plan *fault.Plan) (*platform.Machine, *workloads.FleetConfig, []byte) {
+	t.Helper()
+	pcfg := platform.DefaultConfig()
+	pcfg.Faults = plan
+	m := platform.New(pcfg)
+	t.Cleanup(m.Shutdown)
+	rep, err := workloads.RunFleet(m, cfg)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if m.Obs.SLO() != rep {
+		t.Fatalf("SLO report not installed on observer")
+	}
+	return m, &cfg, rep.JSON()
+}
+
+// A small fleet completes most of its load and fills in every SLO field
+// the report promises.
+func TestFleetSmallCompletes(t *testing.T) {
+	cfg := workloads.DefaultFleetConfig(2000)
+	_, _, js := runFleet(t, cfg, nil)
+	rep := parseSLO(t, js)
+	if rep.Clients != 2000 {
+		t.Fatalf("clients = %d, want 2000", rep.Clients)
+	}
+	if rep.Sessions < int64(rep.Clients) {
+		t.Fatalf("sessions = %d < clients %d (refused binds excluded?)", rep.Sessions, rep.Clients)
+	}
+	udp, stream := rep.Classes["udp"], rep.Classes["stream"]
+	if udp == nil || stream == nil {
+		t.Fatalf("missing traffic classes: %v", rep.Classes)
+	}
+	for name, c := range rep.Classes {
+		if c.Offered == 0 {
+			t.Errorf("%s: offered = 0", name)
+		}
+		if c.Completed == 0 {
+			t.Errorf("%s: completed = 0", name)
+		}
+		if c.Completed > 0 && (c.P50Ns <= 0 || c.P99Ns < c.P50Ns || c.P999Ns < c.P99Ns || c.MaxNs < c.P999Ns) {
+			t.Errorf("%s: inconsistent percentiles p50=%d p99=%d p999=%d max=%d",
+				name, c.P50Ns, c.P99Ns, c.P999Ns, c.MaxNs)
+		}
+		if got := c.Completed + c.Timeouts + c.Refused; got > c.Offered+c.Refused {
+			t.Errorf("%s: accounting overflow: completed+timeouts=%d offered=%d", name, got, c.Offered)
+		}
+	}
+	if rep.GoodputRPS <= 0 {
+		t.Fatalf("goodput = %d", rep.GoodputRPS)
+	}
+	if udp.Completed+udp.Timeouts < udp.Offered*9/10 {
+		t.Errorf("udp requests unaccounted: offered=%d completed=%d timeouts=%d",
+			udp.Offered, udp.Completed, udp.Timeouts)
+	}
+}
+
+// The acceptance gate: a 100k-client fleet run completes and its SLO
+// report is byte-identical across a double run with the same seed. The
+// arrival rate is cranked well past the servers' capacity — at this
+// population the run is a stress test, and the SLO must record the
+// overload (timeouts/drops) deterministically rather than collapse.
+func TestFleetDeterministic100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-client fleet run in -short mode")
+	}
+	cfg := workloads.DefaultFleetConfig(100_000)
+	cfg.MeanInterarrival = 4 * sim.Microsecond
+	cfg.StreamInterarrival = 40 * sim.Microsecond
+	_, _, js1 := runFleet(t, cfg, nil)
+	_, _, js2 := runFleet(t, cfg, nil)
+	if !bytes.Equal(js1, js2) {
+		t.Fatalf("SLO report not deterministic across double run:\n--- run1\n%s\n--- run2\n%s", js1, js2)
+	}
+	rep := parseSLO(t, js1)
+	if rep.Clients != 100_000 {
+		t.Fatalf("clients = %d", rep.Clients)
+	}
+	udp := rep.Classes["udp"]
+	if udp == nil || udp.Completed == 0 {
+		t.Fatalf("100k fleet completed nothing: %s", js1)
+	}
+}
+
+// Different seeds must actually change the run (guards against the
+// generator ignoring cfg.Seed, which would make the determinism gate
+// vacuous).
+func TestFleetSeedSensitivity(t *testing.T) {
+	cfg := workloads.DefaultFleetConfig(1500)
+	_, _, js1 := runFleet(t, cfg, nil)
+	cfg.Seed = 99
+	_, _, js2 := runFleet(t, cfg, nil)
+	if bytes.Equal(js1, js2) {
+		t.Fatalf("seed change did not alter the SLO report")
+	}
+}
+
+// Under the net-flaky fault profile the fleet degrades but the run still
+// terminates and reports: failures move into timeouts/drops/refused.
+func TestFleetNetFlakyDegrades(t *testing.T) {
+	cfg := workloads.DefaultFleetConfig(1500)
+	_, _, base := runFleet(t, cfg, nil)
+	plan, err := fault.PlanFor("net-flaky", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, flaky := runFleet(t, cfg, &plan)
+	b, f := parseSLO(t, base), parseSLO(t, flaky)
+	var bBad, fBad int64
+	for _, c := range b.Classes {
+		bBad += c.Timeouts + c.Drops + c.Refused
+	}
+	for _, c := range f.Classes {
+		fBad += c.Timeouts + c.Drops + c.Refused
+	}
+	if fBad <= bBad {
+		t.Fatalf("net-flaky run no worse than baseline: bad %d vs %d\n%s", fBad, bBad, flaky)
+	}
+	if f.Classes["udp"].Completed == 0 && f.Classes["stream"].Completed == 0 {
+		t.Fatalf("net-flaky run completed nothing (should degrade, not die):\n%s", flaky)
+	}
+}

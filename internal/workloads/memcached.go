@@ -7,7 +7,9 @@ import (
 
 	"genesys/internal/core"
 	"genesys/internal/cpu"
+	"genesys/internal/errno"
 	"genesys/internal/fs"
+	"genesys/internal/gclib"
 	"genesys/internal/gpu"
 	"genesys/internal/netstack"
 	"genesys/internal/platform"
@@ -367,4 +369,138 @@ func RunMemcached(m *platform.Machine, cfg MemcachedConfig) (MemcachedResult, er
 // table (sockets are files).
 func newSocketFile(s *netstack.Socket) *fs.File {
 	return &fs.File{Special: s, Path: "socket:[udp]"}
+}
+
+// --- fleet serving (service-fleet scenario, fleet.go) -----------------------
+//
+// The fleet upgrade of the §VIII-D server: instead of one work-group
+// blocked per socket, each persistent work-group multiplexes a shard of
+// sockets through poll(2) at work-group granularity — the readiness
+// syscall is what lets a handful of work-groups serve a million-client
+// population. Both serving loops run until *stop flips, which the fleet
+// harness does once every client session has resolved.
+
+// fleetUDPServerFn returns the kernel body for one UDP shard: the
+// work-group polls its shard's sockets, and for each readable one does
+// recvfrom → parallel bucket scan → sendto, all collectively.
+func fleetUDPServerFn(c gclib.C, table *mcTable, wgFDs [][]int,
+	scan, tick sim.Time, valueBytes int, stop *bool) func(*gpu.Wavefront) {
+	return func(w *gpu.Wavefront) {
+		fds := wgFDs[w.WG.ID]
+		buf := make([]byte, mcHdrSize)
+		for !*stop {
+			// One timed poll bounds the stop-flag latency; nonblocking
+			// re-polls then drain the burst, so a backlogged shard is served
+			// at syscall rate rather than one datagram per tick.
+			ready, err := c.Poll(w, fds, tick)
+			for err == errno.OK && len(ready) > 0 && !*stop {
+				for _, idx := range ready {
+					n, src, rerr := c.RecvFromTimeout(w, fds[idx], buf, tick)
+					if rerr != errno.OK || n < mcHdrSize {
+						continue
+					}
+					// Parallel hash + bucket scan + value copy (§VIII-D).
+					w.ComputeTime(scan)
+					seq := binary.LittleEndian.Uint32(buf[1:])
+					bucket := int(binary.LittleEndian.Uint32(buf[5:]))
+					elem := int(binary.LittleEndian.Uint32(buf[9:]))
+					val, _ := table.get(bucket, elem%valueElems(table, bucket))
+					c.SendTo(w, fds[idx], mcReply(seq, val), src)
+				}
+				ready, err = c.Poll(w, fds, 0)
+			}
+			if err == errno.EINTR || err == errno.EAGAIN {
+				// A watchdog-aborted poll under fault injection; the
+				// shard must keep serving, not shed capacity.
+				continue
+			}
+			if err != errno.OK {
+				return
+			}
+		}
+	}
+}
+
+// valueElems guards the element index against the table's bucket size.
+func valueElems(t *mcTable, bucket int) int {
+	return len(t.buckets[bucket%len(t.buckets)])
+}
+
+// fleetStreamServerFn returns the kernel body for the stream work-group:
+// it polls the listener plus every accepted connection, accepting,
+// serving fixed-size GET requests, and retiring connections at EOF.
+func fleetStreamServerFn(c gclib.C, table *mcTable, lfd int,
+	scan, tick sim.Time, stop *bool) func(*gpu.Wavefront) {
+	return func(w *gpu.Wavefront) {
+		conns := []int{}
+		accum := map[int][]byte{}
+		buf := make([]byte, 256)
+		timeout := tick
+		for !*stop {
+			fds := append([]int{lfd}, conns...)
+			ready, err := c.Poll(w, fds, timeout)
+			if err == errno.EINTR || err == errno.EAGAIN {
+				continue // transient (watchdog abort); keep serving
+			}
+			if err != errno.OK {
+				return
+			}
+			// Drain mode: while work keeps arriving, re-poll without
+			// blocking so a connection burst is accepted and served at
+			// syscall rate, not one round per tick.
+			if len(ready) > 0 {
+				timeout = 0
+			} else {
+				timeout = tick
+			}
+			var dead []int
+			for _, idx := range ready {
+				if idx == 0 {
+					// Drain the whole accept backlog; a connection burst
+					// must not be admitted one conn per poll round.
+					for {
+						cfd, _, aerr := c.Accept(w, lfd, sim.Nanosecond)
+						if aerr != errno.OK {
+							break
+						}
+						conns = append(conns, cfd)
+					}
+					continue
+				}
+				cfd := fds[idx]
+				n, rerr := c.Recv(w, cfd, buf, sim.Microsecond)
+				if rerr != errno.OK || n == 0 {
+					dead = append(dead, cfd)
+					continue
+				}
+				accum[cfd] = append(accum[cfd], buf[:n]...)
+				for len(accum[cfd]) >= mcHdrSize {
+					req := accum[cfd][:mcHdrSize]
+					w.ComputeTime(scan)
+					seq := binary.LittleEndian.Uint32(req[1:])
+					bucket := int(binary.LittleEndian.Uint32(req[5:]))
+					elem := int(binary.LittleEndian.Uint32(req[9:]))
+					val, _ := table.get(bucket, elem%valueElems(table, bucket))
+					accum[cfd] = accum[cfd][mcHdrSize:]
+					if _, serr := c.Send(w, cfd, mcReply(seq, val)); serr != errno.OK {
+						dead = append(dead, cfd)
+						break
+					}
+				}
+			}
+			for _, cfd := range dead {
+				c.Close(w, cfd)
+				delete(accum, cfd)
+				for i, fd := range conns {
+					if fd == cfd {
+						conns = append(conns[:i], conns[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		for _, cfd := range conns {
+			c.Close(w, cfd)
+		}
+	}
 }
