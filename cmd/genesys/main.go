@@ -26,6 +26,7 @@ import (
 	"genesys/internal/fault"
 	"genesys/internal/obs"
 	"genesys/internal/platform"
+	"genesys/internal/sim"
 	"genesys/internal/syscalls"
 	"genesys/internal/workloads"
 )
@@ -33,7 +34,11 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   genesys run [-runs N] [-seed S] [-trace FILE] [-metrics] [-critpath] [-faults P] <experiment|all> [...]
-  genesys bench [-seed S] [-out DIR] [case ...]
+  genesys bench [-seed S] [-out DIR] [-ckpt-at DUR] [case ...]
+  genesys ckpt -case NAME [-seed S] -at DUR -out FILE
+  genesys restore [-out DIR] FILE
+  genesys record -case NAME [-seed S] -out FILE
+  genesys replay [-workers N,N,..] [-coalesce DUR,DUR,..] [-coalesce-max N] [-json] FILE
   genesys list
   genesys classify
   genesys apps
@@ -51,8 +56,18 @@ run flags:
   -fault-rate R per-opportunity injection probability (default %.2f)
 
 bench: run the fixed deterministic perf suite, writing one
-BENCH_<case>.json per case (all cases when none are named).
+BENCH_<case>.json per case (all cases when none are named). With
+-ckpt-at, also write CKPT_<case>.json — a snapshot of each case cut at
+the given virtual instant (restore with 'genesys restore').
 bench cases: %v
+
+ckpt/restore: checkpoint a bench case mid-run to a snapshot file;
+restore rebuilds it, verifies bit-identity at the cut, runs it to
+completion and writes the same BENCH_<case>.json a straight run would.
+
+record/replay: record captures a run's GPU-to-kernel syscall stream as
+a trace file; replay re-drives the stream against a bare kernel
+pipeline (no workload), sweeping worker counts and coalescing windows.
 
 experiments: %v
 `, fault.Profiles(), fault.DefaultRate, experiments.BenchNames(), experiments.IDs())
@@ -68,6 +83,14 @@ func main() {
 		runCmd(os.Args[2:])
 	case "bench":
 		benchCmd(os.Args[2:])
+	case "ckpt":
+		ckptCmd(os.Args[2:])
+	case "restore":
+		restoreCmd(os.Args[2:])
+	case "record":
+		recordCmd(os.Args[2:])
+	case "replay":
+		replayCmd(os.Args[2:])
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -218,6 +241,7 @@ func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "machine seed")
 	outDir := fs.String("out", ".", "directory the BENCH_<case>.json files are written to")
+	ckptAt := fs.Duration("ckpt-at", 0, "also snapshot each case at this virtual instant (CKPT_<case>.json)")
 	_ = fs.Parse(args)
 	names := fs.Args()
 	if len(names) == 0 {
@@ -265,6 +289,14 @@ func benchCmd(args []string) {
 		fmt.Printf("%-16s %6d calls  p50 %8.2fus  p99 %8.2fus  cpu %5.1f%%  %9.0f calls/s  -> %s (%v)\n",
 			name, res.Calls, res.P50US, res.P99US, res.CPUUtilPct,
 			perHostSec(uint64(res.Calls), wall), path, wall.Round(time.Millisecond))
+		if *ckptAt > 0 {
+			spath := filepath.Join(*outDir, "CKPT_"+name+".json")
+			if err := experiments.CheckpointBench(name, *seed, sim.Time(ckptAt.Nanoseconds()), spath); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: checkpoint %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-16s snapshot at t=%v -> %s\n", name, *ckptAt, spath)
+		}
 	}
 	hb, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -7,7 +7,9 @@
 //	gsh <command...>        # e.g.  gsh ls /tmp
 //	gsh demo                # runs a scripted tour
 //
-// Commands: cat, critpath, df, grep, ls, metrics, stat, util, wc.
+// Commands: cat, critpath, df, grep, ls, metrics, slo, stat, util, wc;
+// plus the host-side session commands ckpt save/load/info <file> and
+// replay <file> (see 'gsh help').
 package main
 
 import (
@@ -24,9 +26,10 @@ func main() {
 	defer m.Shutdown()
 	sh := gsh.New(m)
 
-	// Demo corpus.
-	m.WriteFile("/tmp/motd", []byte("welcome to gsh: a shell whose commands run on the GPU\n"))
-	m.WriteFile("/tmp/poem.txt", []byte("roses are red\nviolets are blue\nGPUs make syscalls\nand so can you\n"))
+	// Demo corpus, written through the shell so the session stays
+	// checkpointable (the writes join the ckpt history).
+	sh.WriteFile("/tmp/motd", []byte("welcome to gsh: a shell whose commands run on the GPU\n"))
+	sh.WriteFile("/tmp/poem.txt", []byte("roses are red\nviolets are blue\nGPUs make syscalls\nand so can you\n"))
 
 	args := os.Args[1:]
 	if len(args) == 0 {
@@ -52,6 +55,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "(exit status: %v)\n", err)
 		}
 	}
+	// Read stats off sh.M, not m: a 'ckpt load' swaps the shell's
+	// machine for the restored one.
 	fmt.Printf("[%d GPU kernels, %d GPU system calls]\n",
-		m.GPU.KernelsLaunched.Value(), m.Genesys.Invocations.Value())
+		sh.M.GPU.KernelsLaunched.Value(), sh.M.Genesys.Invocations.Value())
 }

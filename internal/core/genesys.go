@@ -261,7 +261,8 @@ type Genesys struct {
 
 	tracer    *Tracer
 	events    *obs.EventLog
-	nextTrace uint64 // last assigned causal trace ID
+	rec       Recorder // syscall stream tap for record/replay (possibly nil)
+	nextTrace uint64   // last assigned causal trace ID
 }
 
 // doorbell names one tenancy of a hardware wavefront slot: the slot ID
@@ -512,6 +513,7 @@ func (g *Genesys) populateSlot(w *gpu.Wavefront, lane int, req syscalls.Request,
 	s.trace.ready = g.E.Now()
 	g.Invocations.Inc()
 	g.outstanding++
+	g.noteReady(s)
 	return s
 }
 

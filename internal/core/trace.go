@@ -310,6 +310,7 @@ func (g *Genesys) finishTrace(s *Slot) {
 	if g.tracer != nil {
 		g.tracer.record(s.trace)
 	}
+	g.noteDone(s)
 	if !g.events.Enabled() {
 		return
 	}

@@ -62,9 +62,10 @@ type benchCase struct {
 	// setup prepares the machine and spawns the workload's host process;
 	// the runner then drives the engine to quiescence.
 	setup func(m *platform.Machine)
-	// run, when set, replaces setup+Run for cases whose workload driver
-	// owns the engine loop itself (e.g. the fleet harness).
-	run func(m *platform.Machine, seed int64) error
+	// start, when set, replaces setup for cases whose workload needs a
+	// post-run finalization step (e.g. the fleet harness distilling its
+	// SLO report); the returned closure runs after engine quiescence.
+	start func(m *platform.Machine, seed int64) (finish func() error, err error)
 }
 
 // benchSyscallKernel spawns the canonical blocking work-group-granularity
@@ -193,11 +194,14 @@ var benchCases = []benchCase{
 		// Sized well below the 100k acceptance run so the double-run gate
 		// stays cheap; the SLO report rides along as SLO_fleet.json.
 		name: "fleet",
-		run: func(m *platform.Machine, seed int64) error {
+		start: func(m *platform.Machine, seed int64) (func() error, error) {
 			cfg := workloads.DefaultFleetConfig(5000)
 			cfg.Seed = seed
-			_, err := workloads.RunFleet(m, cfg)
-			return err
+			fr, err := workloads.StartFleet(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { fr.Finish(); return nil }, nil
 		},
 	},
 }
@@ -254,6 +258,33 @@ func RunBenchHost(name string, seed int64) (BenchResult, HostStats, error) {
 // its SLO report as SLO_fleet.json). Artifacts join BENCH_<case>.json in
 // the byte-identity gate; host telemetry stays excluded.
 func RunBenchArtifacts(name string, seed int64) (BenchResult, HostStats, map[string][]byte, error) {
+	br, err := StartBench(name, seed)
+	if err != nil {
+		return BenchResult{}, HostStats{}, nil, err
+	}
+	defer br.Close()
+	return br.Finish()
+}
+
+// BenchRun is a staged bench case whose engine loop the caller owns —
+// the seam checkpoint/restore and record/replay hook into. StartBench
+// builds the machine and stages the workload without running it; the
+// caller may attach a recorder, run the engine partway
+// (M.E.RunUntil) for a checkpoint cut, or fast-forward a restored
+// snapshot, and then calls Finish to drive the engine to quiescence and
+// distill the result. Close releases the machine.
+type BenchRun struct {
+	M    *platform.Machine
+	Name string
+	Seed int64
+
+	wallStart time.Time
+	finish    func() error
+}
+
+// StartBench builds the machine for one bench case and stages its
+// workload without driving the engine.
+func StartBench(name string, seed int64) (*BenchRun, error) {
 	var bc *benchCase
 	for i := range benchCases {
 		if benchCases[i].name == name {
@@ -261,7 +292,7 @@ func RunBenchArtifacts(name string, seed int64) (BenchResult, HostStats, map[str
 		}
 	}
 	if bc == nil {
-		return BenchResult{}, HostStats{}, nil, fmt.Errorf("bench: unknown case %q (have %v)", name, BenchNames())
+		return nil, fmt.Errorf("bench: unknown case %q (have %v)", name, BenchNames())
 	}
 	cfg := platform.DefaultConfig()
 	cfg.Seed = seed
@@ -269,20 +300,38 @@ func RunBenchArtifacts(name string, seed int64) (BenchResult, HostStats, map[str
 		bc.tweak(&cfg)
 	}
 	m := platform.New(cfg)
-	defer m.Shutdown()
 	m.Obs.Events.SetEnabled(true)
-	start := time.Now()
-	if bc.run != nil {
-		if err := bc.run(m, seed); err != nil {
-			return BenchResult{}, HostStats{}, nil, err
+	br := &BenchRun{M: m, Name: name, Seed: seed, wallStart: time.Now()}
+	if bc.start != nil {
+		fin, err := bc.start(m, seed)
+		if err != nil {
+			m.Shutdown()
+			return nil, err
 		}
+		br.finish = fin
 	} else {
 		bc.setup(m)
-		if err := m.Run(); err != nil {
+	}
+	return br, nil
+}
+
+// Close releases the machine. Safe after Finish.
+func (b *BenchRun) Close() { b.M.Shutdown() }
+
+// Finish drives the engine to quiescence (from wherever the caller left
+// it — t=0 for a straight run, the cut instant for a restored one) and
+// distills the deterministic result, host telemetry and artifacts.
+func (b *BenchRun) Finish() (BenchResult, HostStats, map[string][]byte, error) {
+	m, name, seed := b.M, b.Name, b.Seed
+	if err := m.Run(); err != nil {
+		return BenchResult{}, HostStats{}, nil, err
+	}
+	if b.finish != nil {
+		if err := b.finish(); err != nil {
 			return BenchResult{}, HostStats{}, nil, err
 		}
 	}
-	wall := time.Since(start)
+	wall := time.Since(b.wallStart)
 	st := m.E.Stats()
 	host := HostStats{
 		WallNS:         wall.Nanoseconds(),

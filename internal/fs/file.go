@@ -182,6 +182,15 @@ func (t *FDTable) Close(fd int) error {
 	return nil
 }
 
+// ForEach calls fn for every open descriptor in ascending fd order.
+func (t *FDTable) ForEach(fn func(fd int, f *File)) {
+	for fd, f := range t.files {
+		if f != nil {
+			fn(fd, f)
+		}
+	}
+}
+
 // OpenCount returns the number of open descriptors.
 func (t *FDTable) OpenCount() int {
 	n := 0

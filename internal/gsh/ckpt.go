@@ -1,0 +1,179 @@
+package gsh
+
+// Session checkpoint/restore and trace replay for the GPU shell
+// (DESIGN.md §10). A gsh session's recipe is its command history: the
+// machine is deterministic for a fixed seed, every command drives the
+// engine to quiescence, and host-written prologue files are recorded as
+// synthetic history entries — so replaying the history on a fresh
+// machine with the same seed rebuilds the session bit-identically,
+// which ckpt.FastForward verifies section by section.
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"genesys/internal/ckpt"
+	"genesys/internal/platform"
+	"genesys/internal/replay"
+)
+
+// writeFilePrefix marks a synthetic history entry recording a
+// host-side Shell.WriteFile (path and base64 contents).
+const writeFilePrefix = "#writefile "
+
+func writeFileEntry(path string, data []byte) string {
+	return writeFilePrefix + path + " " + base64.StdEncoding.EncodeToString(data)
+}
+
+// Save checkpoints the session to a snapshot file.
+func (s *Shell) Save(path string) (*ckpt.Snapshot, error) {
+	snap := ckpt.Capture(s.M, ckpt.Meta{
+		Kind:    "gsh",
+		Seed:    s.M.Cfg.Seed,
+		History: append([]string(nil), s.history...),
+	})
+	if err := snap.Write(path); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Restore rebuilds a shell session from a snapshot: a fresh machine
+// with the recorded seed, the history replayed, and the arrival state
+// verified bit-identical against every snapshot section.
+func Restore(path string) (*Shell, error) {
+	snap, err := ckpt.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Meta.Kind != "gsh" {
+		return nil, fmt.Errorf("gsh: snapshot kind %q, want \"gsh\" (restore bench snapshots with 'genesys restore')",
+			snap.Meta.Kind)
+	}
+	cfg := platform.DefaultConfig()
+	cfg.Seed = snap.Meta.Seed
+	m := platform.New(cfg)
+	sh := New(m)
+	if err := sh.replayHistory(snap.Meta.History); err != nil {
+		m.Shutdown()
+		return nil, err
+	}
+	if err := ckpt.FastForward(m, snap); err != nil {
+		m.Shutdown()
+		return nil, fmt.Errorf("gsh: restore %s: %w", path, err)
+	}
+	return sh, nil
+}
+
+// replayHistory re-executes a recorded history on the fresh shell.
+// Command errors are deliberately ignored: a failing command is part of
+// the session's state evolution and must replay exactly as it first
+// ran.
+func (s *Shell) replayHistory(history []string) error {
+	for _, line := range history {
+		if rest, ok := strings.CutPrefix(line, writeFilePrefix); ok {
+			path, b64, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fmt.Errorf("gsh: malformed history entry %q", line)
+			}
+			data, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return fmt.Errorf("gsh: history entry %q: %w", line, err)
+			}
+			if err := s.WriteFile(path, data); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := s.Run(line); err != nil {
+			// Engine errors abort the restore; command-level errors
+			// (unknown path etc.) replayed fine and are already part of
+			// the recorded state.
+			if _, isCmd := commands[strings.Fields(line)[0]]; !isCmd {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cmdCkpt implements the host-side "ckpt save|load|info <file>"
+// session commands.
+func (s *Shell) cmdCkpt(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("gsh: usage: ckpt save|load|info <file>")
+	}
+	verb, path := args[0], args[1]
+	switch verb {
+	case "save":
+		snap, err := s.Save(path)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("saved session to %s (t=%s, %d history entries, %d sections)\n",
+			path, fmtNS(snap.CutAt), len(snap.Meta.History), len(snap.Sections)), nil
+	case "load":
+		restored, err := Restore(path)
+		if err != nil {
+			return "", err
+		}
+		old := s.M
+		s.M, s.C, s.history = restored.M, restored.C, restored.history
+		old.Shutdown()
+		return fmt.Sprintf("restored session from %s (t=%s, %d history entries, verified)\n",
+			path, fmtNS(int64(s.M.E.Now())), len(s.history)), nil
+	case "info":
+		snap, err := ckpt.Load(path)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: kind=%s seed=%d cut at t=%s\n",
+			path, snap.Meta.Kind, snap.Meta.Seed, fmtNS(snap.CutAt))
+		if snap.Meta.Case != "" {
+			fmt.Fprintf(&b, "  case: %s\n", snap.Meta.Case)
+		}
+		if n := len(snap.Meta.History); n > 0 {
+			fmt.Fprintf(&b, "  history: %d entries\n", n)
+		}
+		for _, sec := range snap.Sections {
+			fmt.Fprintf(&b, "  section %-10s %6d bytes  %s\n", sec.Name, len(sec.Data), sec.Digest)
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("gsh: ckpt: unknown verb %q (save|load|info)", verb)
+	}
+}
+
+// cmdReplay implements the host-side "replay <file> [workers]" session
+// command: it re-drives a recorded syscall trace against a fresh kernel
+// pipeline (separate from this session's machine) and prints the
+// fidelity report.
+func (s *Shell) cmdReplay(args []string) (string, error) {
+	if len(args) < 1 || len(args) > 2 {
+		return "", fmt.Errorf("gsh: usage: replay <file> [workers]")
+	}
+	tr, err := replay.Load(args[0])
+	if err != nil {
+		return "", err
+	}
+	var opt replay.Options
+	if len(args) == 2 {
+		w, err := strconv.Atoi(args[1])
+		if err != nil || w <= 0 {
+			return "", fmt.Errorf("gsh: replay: bad worker count %q", args[1])
+		}
+		opt.Workers = w
+	}
+	rep, err := replay.Run(tr, opt)
+	if err != nil {
+		return "", err
+	}
+	return rep.Render(), nil
+}
+
+func fmtNS(ns int64) string {
+	return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+}

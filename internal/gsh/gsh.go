@@ -20,10 +20,15 @@ import (
 	"genesys/internal/sim"
 )
 
-// Shell runs commands on one machine.
+// Shell runs commands on one machine. Its command history (including
+// host-written prologue files, recorded by WriteFile) is the session's
+// checkpoint recipe: replaying it on a fresh machine with the same seed
+// rebuilds the session bit-identically (see ckpt.go).
 type Shell struct {
 	M *platform.Machine
 	C gclib.C
+
+	history []string
 }
 
 // New builds a shell over m, creating a process if none is bound.
@@ -34,18 +39,38 @@ func New(m *platform.Machine) *Shell {
 	return &Shell{M: m, C: gclib.C{G: m.Genesys}}
 }
 
+// WriteFile creates path with the given contents host-side (setup
+// helper) and records the write in the session history, so a restored
+// session replays it. Use this instead of Machine.WriteFile when the
+// session may be checkpointed.
+func (s *Shell) WriteFile(path string, data []byte) error {
+	if err := s.M.WriteFile(path, data); err != nil {
+		return err
+	}
+	s.history = append(s.history, writeFileEntry(path, data))
+	return nil
+}
+
 // Run parses and executes one command line on the GPU and returns the
-// terminal output produced.
+// terminal output produced. Session commands (ckpt, replay) execute
+// host-side and are not recorded in the checkpoint history.
 func (s *Shell) Run(line string) (string, error) {
 	args := strings.Fields(line)
 	if len(args) == 0 {
 		return "", nil
+	}
+	switch args[0] {
+	case "ckpt":
+		return s.cmdCkpt(args[1:])
+	case "replay":
+		return s.cmdReplay(args[1:])
 	}
 	cmd, ok := commands[args[0]]
 	if !ok {
 		return "", fmt.Errorf("gsh: unknown command %q (have: %s)", args[0],
 			strings.Join(CommandNames(), ", "))
 	}
+	s.history = append(s.history, line)
 	before := len(s.M.OS.Console.Contents())
 	var runErr error
 	s.M.E.Spawn("gsh:"+args[0], func(p *sim.Proc) {
@@ -263,6 +288,11 @@ func cmdStat(s *Shell, w *gpu.Wavefront, args []string) error {
 
 func cmdHelp(s *Shell, w *gpu.Wavefront, args []string) error {
 	s.C.Printf(w, "gsh commands:\n%s", Usage())
+	s.C.Printf(w, "session commands (host-side, not GPU kernels):\n"+
+		"  ckpt save <file>   checkpoint this session to a snapshot file\n"+
+		"  ckpt load <file>   restore a session snapshot (replaces this session)\n"+
+		"  ckpt info <file>   describe a snapshot without restoring it\n"+
+		"  replay <file> [workers]  replay a recorded syscall trace\n")
 	s.C.Printf(w, "machine fault injection (see /sys/genesys/faults): %s\n",
 		strings.Join(fault.Profiles(), ", "))
 	return nil

@@ -1,0 +1,11 @@
+package obs
+
+// CheckpointState renders every registered metric as sorted "name
+// value" text — the same rendering served at /sys/genesys/metrics.
+// Because the registry holds live counter pointers and gauges, this is
+// by construction the union of every subsystem's externally-visible
+// statistics at the instant of capture; internal/ckpt uses it as a
+// cross-cutting verification section (DESIGN.md §10).
+func (r *Registry) CheckpointState() []byte {
+	return []byte(r.Render())
+}

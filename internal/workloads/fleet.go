@@ -291,10 +291,53 @@ func (h *fleetHarness) runStreamWorker(p *sim.Proc, id int) {
 	}
 }
 
+// FleetRun is a started service-fleet run whose engine loop the caller
+// owns: StartFleet stages everything, the caller drives the engine
+// (m.Run, or RunUntil for a checkpoint cut), and Finish distills the
+// SLO report. RunFleet composes the three for the common case.
+type FleetRun struct {
+	m   *platform.Machine
+	cfg FleetConfig
+	h   *fleetHarness
+}
+
+// Finish distills the completed run into its SLO report and installs it
+// on the machine's Observer, so /sys/genesys/slo serves it afterwards.
+// Call only after the engine has run to quiescence.
+func (r *FleetRun) Finish() *obs.SLOReport {
+	m, cfg, h := r.m, r.cfg, r.h
+	rep := &obs.SLOReport{
+		Workload:   "fleet",
+		Seed:       cfg.Seed,
+		Clients:    cfg.UDPSessions + cfg.StreamSessions,
+		Sessions:   h.sessions,
+		DurationNs: int64(m.E.Now()),
+	}
+	h.udp.Drops = m.Net.Dropped.Value()
+	fillClass(rep.Class("udp"), &h.udp, h.udpLat)
+	fillClass(rep.Class("stream"), &h.stream, h.streamLat)
+	rep.Finalize()
+	m.Obs.SetSLO(rep)
+	return rep
+}
+
 // RunFleet executes one service-fleet run and returns its SLO report.
-// The report is also installed on the machine's Observer, so
-// /sys/genesys/slo serves it afterwards.
 func RunFleet(m *platform.Machine, cfg FleetConfig) (*obs.SLOReport, error) {
+	r, err := StartFleet(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return r.Finish(), nil
+}
+
+// StartFleet stages a service-fleet run — server sockets, serving
+// kernel, arrival processes, stream worker pool — without driving the
+// engine. The caller runs the engine to quiescence and then calls
+// Finish on the returned FleetRun.
+func StartFleet(m *platform.Machine, cfg FleetConfig) (*FleetRun, error) {
 	if cfg.WGSize <= 0 {
 		cfg.WGSize = 64
 	}
@@ -393,23 +436,7 @@ func RunFleet(m *platform.Machine, cfg FleetConfig) (*obs.SLOReport, error) {
 		m.E.Spawn("fleet-stream-worker", func(p *sim.Proc) { h.runStreamWorker(p, i) })
 	}
 
-	if err := m.Run(); err != nil {
-		return nil, err
-	}
-
-	rep := &obs.SLOReport{
-		Workload:   "fleet",
-		Seed:       cfg.Seed,
-		Clients:    cfg.UDPSessions + cfg.StreamSessions,
-		Sessions:   h.sessions,
-		DurationNs: int64(m.E.Now()),
-	}
-	h.udp.Drops = m.Net.Dropped.Value()
-	fillClass(rep.Class("udp"), &h.udp, h.udpLat)
-	fillClass(rep.Class("stream"), &h.stream, h.streamLat)
-	rep.Finalize()
-	m.Obs.SetSLO(rep)
-	return rep, nil
+	return &FleetRun{m: m, cfg: cfg, h: h}, nil
 }
 
 // fillClass copies the counters and distills the latency percentiles.
