@@ -33,8 +33,9 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  genesys run [-runs N] [-seed S] [-trace FILE] [-metrics] [-critpath] [-faults P] <experiment|all> [...]
+  genesys run [-runs N] [-seed S] [-trace FILE] [-trace-cap N] [-flight-out DIR] [-metrics] [-critpath] [-faults P] <experiment|all> [...]
   genesys bench [-seed S] [-out DIR] [-ckpt-at DUR] [case ...]
+  genesys sentry [-baseline DIR] [-wall-factor F] -fresh DIR
   genesys ckpt -case NAME [-seed S] -at DUR -out FILE
   genesys restore [-out DIR] FILE
   genesys record -case NAME [-seed S] -out FILE
@@ -47,6 +48,11 @@ func usage() {
 run flags:
   -trace FILE   write a Chrome trace-event JSON (chrome://tracing, Perfetto)
                 of the first simulated machine to FILE
+  -trace-cap N  event-log ring capacity per machine (default %d; long
+                fleet runs wrap the default and drop the early window)
+  -flight-out DIR
+                write every flight-recorder anomaly bundle produced by
+                the machines built (ANOMALY_m<k>_<seq>_<reason>.json)
   -metrics      print each experiment's final metrics registry snapshot
                 (the /sys/genesys/metrics view)
   -critpath     print the critical-path attribution table of the first
@@ -69,8 +75,14 @@ record/replay: record captures a run's GPU-to-kernel syscall stream as
 a trace file; replay re-drives the stream against a bare kernel
 pipeline (no workload), sweeping worker counts and coalescing windows.
 
+sentry: diff a fresh bench-artifact directory against the committed
+baselines (default DIR "baselines"): exact on virtual-time artifacts
+(BENCH_<case>.json, SLO_*.json), thresholded on BENCH_host.json
+wall-clock. Prints a per-metric delta table; exits 1 on regression.
+
 experiments: %v
-`, fault.Profiles(), fault.DefaultRate, experiments.BenchNames(), experiments.IDs())
+`, obs.DefaultEventCap, fault.Profiles(), fault.DefaultRate,
+		experiments.BenchNames(), experiments.IDs())
 	os.Exit(2)
 }
 
@@ -91,6 +103,8 @@ func main() {
 		recordCmd(os.Args[2:])
 	case "replay":
 		replayCmd(os.Args[2:])
+	case "sentry":
+		sentryCmd(os.Args[2:])
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -117,6 +131,8 @@ func runCmd(args []string) {
 	critpath := fs.Bool("critpath", false, "print the first machine's critical-path attribution table")
 	faults := fs.String("faults", "", "fault-injection profile to arm on every machine ('help' lists profiles)")
 	faultRate := fs.Float64("fault-rate", 0, "per-opportunity injection probability (0 = profile default)")
+	traceCap := fs.Int("trace-cap", 0, "event-log ring capacity per machine (0 = default)")
+	flightOut := fs.String("flight-out", "", "write flight-recorder anomaly bundles to this directory")
 	_ = fs.Parse(args)
 	if *faults == "help" {
 		fmt.Print(fault.ProfileHelp())
@@ -133,15 +149,18 @@ func runCmd(args []string) {
 		usage()
 	}
 	o := experiments.Options{Runs: *runs, BaseSeed: *seed,
-		FaultProfile: *faults, FaultRate: *faultRate}
+		FaultProfile: *faults, FaultRate: *faultRate, EventCap: *traceCap}
 
 	// Observe every machine the experiments build: event tracing is
 	// enabled on the first machine only (so the exported trace is one
 	// coherent virtual-time timeline), and the metrics registry of the
-	// most recent machine backs -metrics.
+	// most recent machine backs -metrics. Flight recorders are collected
+	// from every machine — with -faults the first machine is usually the
+	// fault-free baseline, so bundles come from the later ones.
 	var traceLog *obs.EventLog
 	var lastMetrics *obs.Registry
 	var firstGenesys *core.Genesys
+	var flights []*obs.Flight
 	o.Observe = func(m *platform.Machine) {
 		if *tracePath != "" && traceLog == nil {
 			m.Obs.Events.SetEnabled(true)
@@ -151,6 +170,9 @@ func runCmd(args []string) {
 			firstGenesys = m.Genesys
 		}
 		lastMetrics = m.Obs.Metrics
+		if *flightOut != "" {
+			flights = append(flights, m.Obs.Flight)
+		}
 	}
 
 	if len(ids) == 1 && ids[0] == "all" {
@@ -201,6 +223,50 @@ func runCmd(args []string) {
 		}
 		fmt.Printf("wrote %d event(s) to %s (%d dropped by ring buffer)\n",
 			traceLog.Len(), *tracePath, traceLog.Dropped())
+	}
+
+	if *flightOut != "" {
+		if err := os.MkdirAll(*flightOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "flight-out: %v\n", err)
+			os.Exit(1)
+		}
+		written := 0
+		for k, fl := range flights {
+			for _, b := range fl.Bundles() {
+				name := fmt.Sprintf("ANOMALY_m%d_%s", k, b.Name()[len("ANOMALY_"):])
+				path := filepath.Join(*flightOut, name)
+				if err := os.WriteFile(path, b.JSON(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "flight-out: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("flight bundle (%s) -> %s\n", b.Reason, path)
+				written++
+			}
+		}
+		if written == 0 {
+			fmt.Println("flight-out: no anomaly bundles (no detector fired)")
+		}
+	}
+}
+
+func sentryCmd(args []string) {
+	fs := flag.NewFlagSet("sentry", flag.ExitOnError)
+	baseline := fs.String("baseline", "baselines", "committed baseline artifact directory")
+	fresh := fs.String("fresh", "", "freshly generated bench artifact directory (required)")
+	wallFactor := fs.Float64("wall-factor", 10, "allowed BENCH_host.json wall-clock inflation factor")
+	_ = fs.Parse(args)
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "sentry: -fresh DIR is required")
+		os.Exit(2)
+	}
+	rep, err := experiments.RunSentry(*baseline, *fresh, experiments.SentryOptions{WallFactor: *wallFactor})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+	if rep.Failed() {
+		os.Exit(1)
 	}
 }
 

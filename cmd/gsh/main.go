@@ -4,25 +4,37 @@
 //
 // Usage:
 //
-//	gsh <command...>        # e.g.  gsh ls /tmp
-//	gsh demo                # runs a scripted tour
+//	gsh [-trace-cap N] <command...>   # e.g.  gsh ls /tmp
+//	gsh demo                          # runs a scripted tour
 //
-// Commands: cat, critpath, df, grep, ls, metrics, slo, stat, util, wc;
-// plus the host-side session commands ckpt save/load/info <file> and
-// replay <file> (see 'gsh help').
+// Commands: cat, critpath, df, flight, grep, ls, metrics, slo, stat,
+// top, util, wc; plus the host-side session commands ckpt
+// save/load/info <file> and replay <file> (see 'gsh help').
+//
+// -trace-cap N sets the event-log ring capacity (number of retained
+// trace events) for the session's machine.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"genesys/internal/gsh"
+	"genesys/internal/obs"
 	"genesys/internal/platform"
 )
 
 func main() {
-	m := platform.New(platform.DefaultConfig())
+	fs := flag.NewFlagSet("gsh", flag.ExitOnError)
+	traceCap := fs.Int("trace-cap", 0,
+		fmt.Sprintf("event-log ring capacity (0 = default %d)", obs.DefaultEventCap))
+	fs.Parse(os.Args[1:])
+
+	cfg := platform.DefaultConfig()
+	cfg.EventCap = *traceCap
+	m := platform.New(cfg)
 	defer m.Shutdown()
 	sh := gsh.New(m)
 
@@ -31,9 +43,9 @@ func main() {
 	sh.WriteFile("/tmp/motd", []byte("welcome to gsh: a shell whose commands run on the GPU\n"))
 	sh.WriteFile("/tmp/poem.txt", []byte("roses are red\nviolets are blue\nGPUs make syscalls\nand so can you\n"))
 
-	args := os.Args[1:]
+	args := fs.Args()
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: gsh <command...> | gsh demo\ncommands:\n%s", gsh.Usage())
+		fmt.Fprintf(os.Stderr, "usage: gsh [-trace-cap N] <command...> | gsh demo\ncommands:\n%s", gsh.Usage())
 		os.Exit(2)
 	}
 	lines := []string{strings.Join(args, " ")}

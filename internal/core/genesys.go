@@ -261,8 +261,25 @@ type Genesys struct {
 
 	tracer    *Tracer
 	events    *obs.EventLog
-	rec       Recorder // syscall stream tap for record/replay (possibly nil)
-	nextTrace uint64   // last assigned causal trace ID
+	flight    *obs.Flight // always-on anomaly detectors (possibly nil)
+	rec       Recorder    // syscall stream tap for record/replay (possibly nil)
+	nextTrace uint64      // last assigned causal trace ID
+}
+
+// SetFlight attaches the machine's flight recorder; completed and
+// aborted calls feed its latency-outlier and watchdog-exhaustion
+// detectors.
+func (g *Genesys) SetFlight(f *obs.Flight) { g.flight = f }
+
+// SlotStateCounts returns how many syscall-area slots currently sit in
+// each lifecycle state — the in-flight-by-phase row of the live top
+// view.
+func (g *Genesys) SlotStateCounts() map[SlotState]int {
+	out := make(map[SlotState]int, 5)
+	for i := range g.slots {
+		out[g.slots[i].State]++
+	}
+	return out
 }
 
 // doorbell names one tenancy of a hardware wavefront slot: the slot ID

@@ -150,9 +150,9 @@ func (t *Tracer) record(c callTrace) {
 		st.phase[i] += samples[i]
 	}
 	totalUS := (c.harvest - c.claim).Micro()
-	t.total.Add(totalUS)
+	t.total.AddEx(totalUS, c.id, c.harvest)
 	st.totalUS += totalUS
-	st.hist.Add(totalUS)
+	st.hist.AddEx(totalUS, c.id, c.harvest)
 }
 
 // Calls returns how many system calls were traced.
@@ -202,6 +202,10 @@ func (t *Tracer) String() string {
 	q := t.total.Percentiles(50, 95, 99)
 	fmt.Fprintf(&b, "  %-11s %8.2f  %6s  %8.2f %8.2f %8.2f\n",
 		"total", total, "", q[0], q[1], q[2])
+	if t.n > 0 {
+		fmt.Fprintf(&b, "  total range min=%.2f max=%.2f us\n",
+			t.total.Min(), t.total.Max())
+	}
 	if t.aborted > 0 {
 		fmt.Fprintf(&b, "  (%d call(s) aborted with EINTR by the retransmit watchdog)\n", t.aborted)
 	}
@@ -228,8 +232,8 @@ func (t *Tracer) CritPath() string {
 		b.WriteString("  no traced calls yet\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "  %-16s %6s %5s %9s %9s %9s  %-11s", "syscall", "calls",
-		"abrt", "mean-us", "p95-us", "p99-us", "dominant")
+	fmt.Fprintf(&b, "  %-16s %6s %5s %9s %9s %9s %9s %9s  %-11s", "syscall", "calls",
+		"abrt", "mean-us", "p95-us", "p99-us", "min-us", "max-us", "dominant")
 	for _, ph := range Phases() {
 		fmt.Fprintf(&b, " %7s", shortPhase(ph)+"%")
 	}
@@ -248,7 +252,8 @@ func (t *Tracer) CritPath() string {
 			continue
 		}
 		q := st.hist.Percentiles(95, 99)
-		fmt.Fprintf(&b, " %9.2f %9.2f %9.2f", st.totalUS/float64(st.calls), q[0], q[1])
+		fmt.Fprintf(&b, " %9.2f %9.2f %9.2f %9.2f %9.2f",
+			st.totalUS/float64(st.calls), q[0], q[1], st.hist.Min(), st.hist.Max())
 		dom, domShare := 0, -1.0
 		for i := range st.phase {
 			if st.phase[i] > domShare {
@@ -270,6 +275,20 @@ func (t *Tracer) CritPath() string {
 	if sumTotal > 0 {
 		fmt.Fprintf(&b, "  attributed %.1f%% of end-to-end latency to the %d named stages\n",
 			100*sumPhases/sumTotal, len(Phases()))
+	}
+	// Exemplars: the retained worst invocations per syscall, each naming
+	// the causal trace ID a flight-recorder bundle (or -trace export)
+	// can be filtered to.
+	wrote := false
+	for _, nr := range nrs {
+		for _, e := range t.byNR[nr].hist.Exemplars() {
+			if !wrote {
+				b.WriteString("  exemplars (worst retained invocations):\n")
+				wrote = true
+			}
+			fmt.Fprintf(&b, "    %-16s trace=%d total=%.2fus at=%v\n",
+				syscalls.Name(nr), e.Trace, e.Value, e.At)
+		}
 	}
 	return b.String()
 }
@@ -311,11 +330,31 @@ func (g *Genesys) finishTrace(s *Slot) {
 		g.tracer.record(s.trace)
 	}
 	g.noteDone(s)
-	if !g.events.Enabled() {
-		return
-	}
 	c := s.trace
 	name := syscalls.Name(c.nr)
+	if g.events.CaptureActive() {
+		g.emitSpans(s, c, name)
+	}
+	// Flight detectors run after span emission so a triggered bundle's
+	// filtered trace already contains this call's complete chain. Pure
+	// accounting: no virtual-time or randomness side effects.
+	if g.flight != nil {
+		if c.aborted {
+			g.flight.NoteAbort(name, c.id, c.done)
+		} else if c.stamped() {
+			end := c.harvest
+			if end == 0 {
+				end = c.done
+			}
+			g.flight.NoteCall(name, c.nr, c.id, (end - c.claim).Micro(), end)
+		}
+	}
+}
+
+// emitSpans writes one call's life-cycle spans to the event log, each
+// placed on the synthetic process/thread where that phase ran and
+// linked by the call's trace ID into one causal flow chain.
+func (g *Genesys) emitSpans(s *Slot, c callTrace, name string) {
 	if c.aborted {
 		// Aborted by the retransmit watchdog: emit the phases that
 		// happened plus a terminal marker on the slot's row.

@@ -370,5 +370,15 @@ func (b *BenchRun) Finish() (BenchResult, HostStats, map[string][]byte, error) {
 	if slo := m.Obs.SLO(); slo != nil {
 		artifacts = map[string][]byte{"SLO_" + name + ".json": slo.JSON()}
 	}
+	// Flight-recorder bundles ride along as deterministic artifacts.
+	// Clean bench runs are expected to produce none — a bundle appearing
+	// here means a detector fired, and the double-run gate holds its
+	// bytes to the same identity bar as the BENCH snapshot.
+	for _, bun := range m.Obs.Flight.Bundles() {
+		if artifacts == nil {
+			artifacts = map[string][]byte{}
+		}
+		artifacts[fmt.Sprintf("ANOMALY_%s_%s", name, bun.Name()[len("ANOMALY_"):])] = bun.JSON()
+	}
 	return res, host, artifacts, nil
 }

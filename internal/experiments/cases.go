@@ -318,6 +318,7 @@ func ByID(id string) (func(Options) *Table, bool) {
 		"breakdown": Breakdown,
 		"ablation":  Ablation,
 		"chaos":     Chaos,
+		"fleet":     Fleet,
 	}
 	fn, ok := m[id]
 	return fn, ok
@@ -327,5 +328,5 @@ func ByID(id string) (func(Options) *Table, bool) {
 func IDs() []string {
 	return []string{"table2", "table3", "table4", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15",
-		"fig16", "breakdown", "ablation", "chaos"}
+		"fig16", "breakdown", "ablation", "chaos", "fleet"}
 }

@@ -31,6 +31,10 @@ type Options struct {
 	// the per-opportunity injection probability (0 selects the default).
 	FaultProfile string
 	FaultRate    float64
+
+	// EventCap overrides the event-log ring capacity of every machine
+	// built (0 keeps obs.DefaultEventCap).
+	EventCap int
 }
 
 // DefaultOptions returns 3 runs from seed 1.
@@ -104,6 +108,7 @@ func (t *Table) Render() string {
 func newMachine(o Options, seed int64, tweak func(*platform.Config)) *platform.Machine {
 	cfg := platform.DefaultConfig()
 	cfg.Seed = seed
+	cfg.EventCap = o.EventCap
 	if o.FaultProfile != "" {
 		plan, err := fault.PlanFor(o.FaultProfile, o.FaultRate)
 		if err != nil {

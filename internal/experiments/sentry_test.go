@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifacts(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var sentryBaseline = map[string]string{
+	"BENCH_fleet.json": `{"name":"fleet","p50_us":26.6,"p99_us":285.1,"calls":57806}`,
+	"SLO_fleet.json":   `{"classes":{"udp":{"p99_ns":285090,"min_ns":87600}}}`,
+	"BENCH_host.json":  `{"cases":[{"name":"fleet","wall_ms":100.0},{"name":"idle","wall_ms":1.0}]}`,
+}
+
+func TestSentryPassesOnIdenticalArtifacts(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeArtifacts(t, base, sentryBaseline)
+	writeArtifacts(t, fresh, sentryBaseline)
+	rep, err := RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("identical dirs failed:\n%s", rep.Render())
+	}
+	if rep.Checked != 3 {
+		t.Fatalf("checked %d files", rep.Checked)
+	}
+	// Host rows are informational (present, ok).
+	if !strings.Contains(rep.Render(), "fleet.wall_ms") {
+		t.Fatalf("render lacks host rows:\n%s", rep.Render())
+	}
+}
+
+func TestSentryFailsOnMetricRegression(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeArtifacts(t, base, sentryBaseline)
+	regressed := map[string]string{}
+	for k, v := range sentryBaseline {
+		regressed[k] = v
+	}
+	regressed["BENCH_fleet.json"] = `{"name":"fleet","p50_us":26.6,"p99_us":399.9,"calls":57806}`
+	writeArtifacts(t, fresh, regressed)
+	rep, err := RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("regression not flagged:\n%s", rep.Render())
+	}
+	out := rep.Render()
+	// The delta table names the exact metric with a numeric delta.
+	if !strings.Contains(out, "p99_us") || !strings.Contains(out, "285.1") ||
+		!strings.Contains(out, "399.9") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("delta table unreadable:\n%s", out)
+	}
+	// Untouched metrics of the same file produce no rows.
+	if strings.Contains(out, "p50_us") {
+		t.Fatalf("unchanged metric reported:\n%s", out)
+	}
+}
+
+func TestSentryWallClockThreshold(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeArtifacts(t, base, sentryBaseline)
+	over := map[string]string{}
+	for k, v := range sentryBaseline {
+		over[k] = v
+	}
+	// fleet 100ms → 250ms: fails at 2x, passes at 10x. Getting faster
+	// (idle 1.0 → wall within limit) never fails.
+	over["BENCH_host.json"] = `{"cases":[{"name":"fleet","wall_ms":250.0},{"name":"idle","wall_ms":0.5}]}`
+	writeArtifacts(t, fresh, over)
+	rep, err := RunSentry(base, fresh, SentryOptions{WallFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("2x threshold missed a 2.5x inflation:\n%s", rep.Render())
+	}
+	rep, err = RunSentry(base, fresh, SentryOptions{WallFactor: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("10x threshold failed a 2.5x inflation:\n%s", rep.Render())
+	}
+}
+
+func TestSentryMissingAndExtraFiles(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeArtifacts(t, base, sentryBaseline)
+	// Fresh set drops SLO_fleet.json and adds an ungated new case.
+	writeArtifacts(t, fresh, map[string]string{
+		"BENCH_fleet.json": sentryBaseline["BENCH_fleet.json"],
+		"BENCH_host.json":  sentryBaseline["BENCH_host.json"],
+		"BENCH_new.json":   `{"p50_us":1}`,
+	})
+	rep, err := RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("missing/extra files not flagged:\n%s", rep.Render())
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "SLO_fleet.json") || !strings.Contains(out, "missing") {
+		t.Fatalf("missing baseline artifact not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "BENCH_new.json") || !strings.Contains(out, "commit a baseline") {
+		t.Fatalf("ungated new artifact not reported:\n%s", out)
+	}
+}
+
+func TestSentryEmptyBaselineDirErrors(t *testing.T) {
+	if _, err := RunSentry(t.TempDir(), t.TempDir(), SentryOptions{}); err == nil {
+		t.Fatal("empty baseline dir accepted")
+	}
+}
+
+// TestSentryAgainstCommittedBaselines regenerates the cheapest bench
+// case and checks it against the repo's committed baselines/ — the
+// same comparison CI's sentry job runs, scoped to one case so the test
+// stays fast.
+func TestSentryAgainstCommittedBaselines(t *testing.T) {
+	res, err := RunBench("syscall-idle", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := t.TempDir()
+	if err := os.WriteFile(filepath.Join(fresh, "BENCH_syscall-idle.json"), res.JSON(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := t.TempDir()
+	committed, err := os.ReadFile("../../baselines/BENCH_syscall-idle.json")
+	if err != nil {
+		t.Skipf("no committed baselines: %v", err)
+	}
+	writeArtifacts(t, base, map[string]string{"BENCH_syscall-idle.json": string(committed)})
+	rep, err := RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("fresh syscall-idle drifted from committed baseline:\n%s", rep.Render())
+	}
+}

@@ -161,6 +161,19 @@ type Injector struct {
 	Surfaced  sim.Counter
 
 	perPoint map[Point]*sim.Counter
+
+	// surfacedHook, when set, fires on every NoteSurfaced — the flight
+	// recorder's fault-surfaced detector hangs off it.
+	surfacedHook func()
+}
+
+// SetSurfacedHook installs a callback invoked whenever a fault surfaces
+// to the workload (after the counter increments). Pure notification: the
+// hook must not perturb virtual time or randomness.
+func (in *Injector) SetSurfacedHook(fn func()) {
+	if in != nil {
+		in.surfacedHook = fn
+	}
 }
 
 // NewInjector builds an injector over e with its own RNG seeded from
@@ -250,6 +263,9 @@ func (in *Injector) NoteRecovered() {
 func (in *Injector) NoteSurfaced() {
 	if in != nil {
 		in.Surfaced.Inc()
+		if in.surfacedHook != nil {
+			in.surfacedHook()
+		}
 	}
 }
 

@@ -108,6 +108,8 @@ var commands = map[string]command{
 	"util":     {"util", cmdUtil},
 	"critpath": {"critpath", cmdCritpath},
 	"slo":      {"slo", cmdSLO},
+	"flight":   {"flight", cmdFlight},
+	"top":      {"top [frames [interval_us]]", cmdTop},
 }
 
 // help is registered in init: cmdHelp renders Usage, which reads the
@@ -293,6 +295,10 @@ func cmdHelp(s *Shell, w *gpu.Wavefront, args []string) error {
 		"  ckpt load <file>   restore a session snapshot (replaces this session)\n"+
 		"  ckpt info <file>   describe a snapshot without restoring it\n"+
 		"  replay <file> [workers]  replay a recorded syscall trace\n")
+	s.C.Printf(w, "observability:\n"+
+		"  top [frames [interval_us]]  live virtual-time dashboard\n"+
+		"                              (util, engine, slots, SLO burn; default 1 frame)\n"+
+		"  flight                      flight-recorder state and anomaly bundles\n")
 	s.C.Printf(w, "machine fault injection (see /sys/genesys/faults): %s\n",
 		strings.Join(fault.Profiles(), ", "))
 	return nil
@@ -331,6 +337,46 @@ func cmdCritpath(s *Shell, w *gpu.Wavefront, args []string) error {
 
 func cmdSLO(s *Shell, w *gpu.Wavefront, args []string) error {
 	return catSysfs(s, w, "/sys/genesys/slo")
+}
+
+func cmdFlight(s *Shell, w *gpu.Wavefront, args []string) error {
+	return catSysfs(s, w, "/sys/genesys/flight")
+}
+
+// cmdTop renders the live dashboard: `top [frames [interval_us]]`
+// refreshes /sys/genesys/top every interval of *virtual* time (default
+// 1 frame; 500µs interval), so successive frames show the machine
+// evolving — each read flows through the GPU syscall path like any
+// other gsh command.
+func cmdTop(s *Shell, w *gpu.Wavefront, args []string) error {
+	frames := 1
+	interval := 500 * sim.Microsecond
+	if len(args) >= 1 {
+		if _, err := fmt.Sscanf(args[0], "%d", &frames); err != nil || frames < 1 {
+			return errno.EINVAL
+		}
+	}
+	if len(args) >= 2 {
+		var us int
+		if _, err := fmt.Sscanf(args[1], "%d", &us); err != nil || us < 1 {
+			return errno.EINVAL
+		}
+		interval = sim.Time(us) * sim.Microsecond
+	}
+	for f := 0; f < frames; f++ {
+		if f > 0 {
+			// Advance virtual time between frames so the refresh shows
+			// movement, not the same instant re-rendered.
+			w.ComputeTime(interval)
+			if w.IsLeader() {
+				s.C.Printf(w, "\n")
+			}
+		}
+		if err := catSysfs(s, w, "/sys/genesys/top"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func cmdDf(s *Shell, w *gpu.Wavefront, args []string) error {

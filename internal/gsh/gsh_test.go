@@ -165,7 +165,7 @@ func TestObservabilityCommands(t *testing.T) {
 
 func TestUsageAndNames(t *testing.T) {
 	names := CommandNames()
-	if len(names) != 11 || names[0] != "cat" {
+	if len(names) != 13 || names[0] != "cat" {
 		t.Fatalf("names = %v", names)
 	}
 	if !strings.Contains(Usage(), "grep <word> <file...>") {
@@ -173,5 +173,70 @@ func TestUsageAndNames(t *testing.T) {
 	}
 	if !strings.Contains(Usage(), "help") {
 		t.Fatalf("usage lacks help:\n%s", Usage())
+	}
+}
+
+// TestTopGolden pins the exact two-frame `top` output of a fixed
+// session: the dashboard is rendered from deterministic counters, so
+// any drift here is a real behavior change (update the golden
+// deliberately). The second frame must show virtual time advancing.
+func TestTopGolden(t *testing.T) {
+	m := platform.New(platform.DefaultConfig())
+	t.Cleanup(m.Shutdown)
+	s := New(m)
+	if err := m.WriteFile("/tmp/poem.txt", []byte("roses are red\nviolets are blue\nGPUs make syscalls\nand so can you\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("wc /tmp/poem.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run("top 2 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `genesys top — t=209.06us
+util  cores=0 waiting=0 workers=1 cus=1 resident_waves=1 halted_waves=0 polling_waves=1
+engine  events=156 ready-fast=19 callbacks=7 switches=148 pending=1 procs=6
+kernel  workers=3 idle=2 queue=0 tasks=7
+slots   free=20479 populating=0 ready=0 processing=1 finished=0 outstanding=1
+calls   invocations=7 batches=7 retransmits=0 traced=6 p50=24.55us p99=24.55us min=24.55us max=24.55us
+flight  chains=6 anomalies=0 bundles=0 burn=0/0 (0.0% bad)
+
+genesys top — t=831.81us
+util  cores=0 waiting=0 workers=1 cus=1 resident_waves=1 halted_waves=0 polling_waves=1
+engine  events=258 ready-fast=24 callbacks=12 switches=245 pending=1 procs=6
+kernel  workers=3 idle=2 queue=0 tasks=12
+slots   free=20479 populating=0 ready=0 processing=1 finished=0 outstanding=1
+calls   invocations=12 batches=12 retransmits=0 traced=11 p50=24.55us p99=24.55us min=24.55us max=24.55us
+flight  chains=11 anomalies=0 bundles=0 burn=0/0 (0.0% bad)
+`
+	if out != golden {
+		t.Fatalf("top output drifted from golden:\ngot:\n%s\nwant:\n%s", out, golden)
+	}
+}
+
+func TestTopBadArgs(t *testing.T) {
+	s := newShell(t)
+	if out, err := s.Run("top zero"); err == nil || !strings.Contains(out, "EINVAL") {
+		t.Fatalf("top zero: err=%v out=%q", err, out)
+	}
+	if out, err := s.Run("top 1 -5"); err == nil || !strings.Contains(out, "EINVAL") {
+		t.Fatalf("top 1 -5: err=%v out=%q", err, out)
+	}
+}
+
+func TestFlightCommand(t *testing.T) {
+	s := newShell(t)
+	if _, err := s.Run("wc /tmp/poem.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run("flight")
+	if err != nil {
+		t.Fatalf("flight: %v\n%s", err, out)
+	}
+	for _, want := range []string{"flight recorder", "chains retained", "anomalies 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flight output lacks %q:\n%s", want, out)
+		}
 	}
 }

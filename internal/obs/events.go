@@ -96,6 +96,11 @@ type EventLog struct {
 
 	procNames   map[int]string
 	threadNames map[[2]int]string // (pid, tid) → name
+
+	// flight, when set, receives every flow-tagged span — even while the
+	// ring itself is disabled — so the always-on flight recorder sees
+	// causal chains without the cost of full event retention.
+	flight *Flight
 }
 
 // NewEventLog returns a disabled log holding up to capacity events
@@ -120,6 +125,53 @@ func (l *EventLog) SetEnabled(on bool) {
 
 // Enabled reports whether the log is recording.
 func (l *EventLog) Enabled() bool { return l != nil && l.enabled }
+
+// SetFlight attaches a flight recorder; flow-tagged spans are teed to it
+// from then on, independent of the ring's enabled state.
+func (l *EventLog) SetFlight(f *Flight) {
+	if l != nil {
+		l.flight = f
+	}
+}
+
+// CaptureActive reports whether span emission has any consumer — the
+// ring itself or an attached flight recorder. Instrumented paths that
+// build spans conditionally should gate on this, not Enabled, so the
+// always-on flight recorder keeps seeing causal chains in untraced runs.
+func (l *EventLog) CaptureActive() bool {
+	return l != nil && (l.enabled || l.flight != nil)
+}
+
+// SetCapacity resizes the ring to hold up to n events (DefaultEventCap
+// if n <= 0), preserving the newest retained events that fit. Intended
+// for configuration before a run; resizing mid-run keeps the most
+// recent window.
+func (l *EventLog) SetCapacity(n int) {
+	if l == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultEventCap
+	}
+	if n == cap(l.buf) {
+		return
+	}
+	evs := l.Events() // oldest-first
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	l.buf = make([]Event, len(evs), n)
+	copy(l.buf, evs)
+	l.head = 0 // if already full, the next overwrite hits the oldest event
+}
+
+// Capacity returns the ring's event capacity.
+func (l *EventLog) Capacity() int {
+	if l == nil {
+		return 0
+	}
+	return cap(l.buf)
+}
 
 // NameProcess labels a synthetic process ID in exported traces.
 func (l *EventLog) NameProcess(pid int, name string) {
@@ -157,15 +209,23 @@ func (l *EventLog) Span(cat, name string, pid, tid int, start, end sim.Time) {
 // (0 disables linking) at position fp; flowName labels the chain.
 func (l *EventLog) FlowSpan(cat, name string, pid, tid int, start, end sim.Time,
 	flow uint64, fp FlowPhase, flowName string) {
-	if !l.Enabled() {
+	if !l.CaptureActive() {
 		return
 	}
 	if end < start {
-		l.rejected++
+		if l.enabled {
+			l.rejected++
+		}
 		return
 	}
-	l.push(Event{Kind: KindSpan, Cat: cat, Name: name, PID: pid, TID: tid,
-		Start: start, End: end, Flow: flow, FlowPhase: fp, FlowName: flowName})
+	e := Event{Kind: KindSpan, Cat: cat, Name: name, PID: pid, TID: tid,
+		Start: start, End: end, Flow: flow, FlowPhase: fp, FlowName: flowName}
+	if flow != 0 {
+		l.flight.addSpan(e)
+	}
+	if l.enabled {
+		l.push(e)
+	}
 }
 
 // Instant records a point event at time t.
@@ -257,76 +317,96 @@ func (l *EventLog) WriteChromeTrace(w io.Writer) error {
 	var out chromeTrace
 	out.DisplayTimeUnit = "ms"
 	if l != nil {
-		pids := make([]int, 0, len(l.procNames))
-		for pid := range l.procNames {
-			pids = append(pids, pid)
-		}
-		sort.Ints(pids)
-		for _, pid := range pids {
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
-				Name: "process_name", Ph: "M", PID: pid,
-				Args: map[string]any{"name": l.procNames[pid]},
-			})
-		}
-		tkeys := make([][2]int, 0, len(l.threadNames))
-		for k := range l.threadNames {
-			tkeys = append(tkeys, k)
-		}
-		sort.Slice(tkeys, func(i, j int) bool {
-			if tkeys[i][0] != tkeys[j][0] {
-				return tkeys[i][0] < tkeys[j][0]
-			}
-			return tkeys[i][1] < tkeys[j][1]
-		})
-		for _, k := range tkeys {
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
-				Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
-				Args: map[string]any{"name": l.threadNames[k]},
-			})
-		}
-		evs := l.Events()
-		sort.SliceStable(evs, func(i, j int) bool {
-			if evs[i].Start != evs[j].Start {
-				return evs[i].Start < evs[j].Start
-			}
-			return evs[i].End < evs[j].End
-		})
-		for _, e := range evs {
-			ce := chromeEvent{
-				Name: e.Name, Cat: e.Cat, Ts: e.Start.Micro(),
-				PID: e.PID, TID: e.TID,
-			}
-			switch e.Kind {
-			case KindSpan:
-				ce.Ph = "X"
-				ce.Dur = e.Dur().Micro()
-			case KindCounter:
-				ce.Ph = "C"
-				ce.Args = map[string]any{"value": e.Value}
-			default:
-				ce.Ph = "i"
-				ce.S = "t"
-			}
-			out.TraceEvents = append(out.TraceEvents, ce)
-			if e.Flow != 0 && e.FlowPhase != FlowNone {
-				fe := chromeEvent{
-					Name: e.FlowName, Cat: "flow", Ts: e.Start.Micro(),
-					PID: e.PID, TID: e.TID, ID: e.Flow,
-				}
-				switch e.FlowPhase {
-				case FlowStart:
-					fe.Ph = "s"
-				case FlowStep:
-					fe.Ph = "t"
-				default:
-					fe.Ph = "f"
-					fe.BP = "e"
-					fe.Ts = e.End.Micro()
-				}
-				out.TraceEvents = append(out.TraceEvents, fe)
-			}
-		}
+		out.TraceEvents = append(out.TraceEvents, l.metaEvents()...)
+		out.TraceEvents = appendChromeEvents(out.TraceEvents, l.Events())
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// metaEvents returns the process/thread naming metadata as Chrome "M"
+// events in deterministic (pid, tid) order.
+func (l *EventLog) metaEvents() []chromeEvent {
+	if l == nil {
+		return nil
+	}
+	var out []chromeEvent
+	pids := make([]int, 0, len(l.procNames))
+	for pid := range l.procNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": l.procNames[pid]},
+		})
+	}
+	tkeys := make([][2]int, 0, len(l.threadNames))
+	for k := range l.threadNames {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i][0] != tkeys[j][0] {
+			return tkeys[i][0] < tkeys[j][0]
+		}
+		return tkeys[i][1] < tkeys[j][1]
+	})
+	for _, k := range tkeys {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+			Args: map[string]any{"name": l.threadNames[k]},
+		})
+	}
+	return out
+}
+
+// appendChromeEvents converts events to Chrome trace entries (sorting a
+// copy by start time first) and appends them to dst. Flow-linked spans
+// additionally emit their "s"/"t"/"f" flow event.
+func appendChromeEvents(dst []chromeEvent, events []Event) []chromeEvent {
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].End < evs[j].End
+	})
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ts: e.Start.Micro(),
+			PID: e.PID, TID: e.TID,
+		}
+		switch e.Kind {
+		case KindSpan:
+			ce.Ph = "X"
+			ce.Dur = e.Dur().Micro()
+		case KindCounter:
+			ce.Ph = "C"
+			ce.Args = map[string]any{"value": e.Value}
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		dst = append(dst, ce)
+		if e.Flow != 0 && e.FlowPhase != FlowNone {
+			fe := chromeEvent{
+				Name: e.FlowName, Cat: "flow", Ts: e.Start.Micro(),
+				PID: e.PID, TID: e.TID, ID: e.Flow,
+			}
+			switch e.FlowPhase {
+			case FlowStart:
+				fe.Ph = "s"
+			case FlowStep:
+				fe.Ph = "t"
+			default:
+				fe.Ph = "f"
+				fe.BP = "e"
+				fe.Ts = e.End.Micro()
+			}
+			dst = append(dst, fe)
+		}
+	}
+	return dst
 }

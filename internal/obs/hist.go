@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"math"
+
+	"genesys/internal/sim"
 )
 
 // Histogram bucket geometry: bucket 0 is the underflow bucket for
@@ -37,17 +39,36 @@ func bucketBounds(i int) (lo, hi float64) {
 	return lo, lo * histGrowth
 }
 
+// ExemplarK is how many top outlier samples a histogram retains as
+// exemplars (largest values win; earlier samples win ties).
+const ExemplarK = 3
+
+// Exemplar links one retained outlier sample to its causal identity, so
+// a p99 row in a rendered view points at a concrete invocation the
+// flight recorder can look up: the sample value, the causal trace ID
+// that produced it (0 when the sample has no syscall identity, e.g. a
+// client-observed request latency) and the virtual-time instant it
+// completed.
+type Exemplar struct {
+	Value float64
+	Trace uint64
+	At    sim.Time
+}
+
 // Histogram accumulates scalar samples into logarithmic buckets and
 // answers percentile queries — the upgrade from the mean-only
 // sim.Summary that lets the tracer report p50/p95/p99 per phase.
 // Exact count, sum, min and max are tracked alongside the buckets, so
-// Mean/Min/Max are precise; only quantiles are approximate.
+// Mean/Min/Max are precise; only quantiles are approximate. AddEx
+// additionally retains the top-ExemplarK outlier samples with their
+// trace IDs.
 type Histogram struct {
 	counts []int64 // lazily grown to the highest touched bucket
 	n      int64
 	sum    float64
 	min    float64
 	max    float64
+	ex     []Exemplar // top-K samples by value, descending
 }
 
 // NewHistogram returns an empty histogram.
@@ -75,6 +96,30 @@ func (h *Histogram) Add(v float64) {
 	}
 	h.counts[i]++
 }
+
+// AddEx records one sample carrying its causal identity; the top
+// ExemplarK samples by value are retained as exemplars. Insertion is
+// strictly-greater, so on ties the earliest sample is kept — the
+// deterministic choice for byte-stable renders.
+func (h *Histogram) AddEx(v float64, trace uint64, at sim.Time) {
+	h.Add(v)
+	i := len(h.ex)
+	for i > 0 && v > h.ex[i-1].Value {
+		i--
+	}
+	if i >= ExemplarK {
+		return
+	}
+	h.ex = append(h.ex, Exemplar{})
+	copy(h.ex[i+1:], h.ex[i:])
+	h.ex[i] = Exemplar{Value: v, Trace: trace, At: at}
+	if len(h.ex) > ExemplarK {
+		h.ex = h.ex[:ExemplarK]
+	}
+}
+
+// Exemplars returns the retained outlier samples, largest first.
+func (h *Histogram) Exemplars() []Exemplar { return h.ex }
 
 // N returns the number of samples.
 func (h *Histogram) N() int { return int(h.n) }
@@ -161,6 +206,21 @@ func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {
 		h.counts[i] += c
 	}
+	for _, e := range other.ex {
+		i := len(h.ex)
+		for i > 0 && e.Value > h.ex[i-1].Value {
+			i--
+		}
+		if i >= ExemplarK {
+			continue
+		}
+		h.ex = append(h.ex, Exemplar{})
+		copy(h.ex[i+1:], h.ex[i:])
+		h.ex[i] = e
+		if len(h.ex) > ExemplarK {
+			h.ex = h.ex[:ExemplarK]
+		}
+	}
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -175,6 +235,6 @@ func clamp(v, lo, hi float64) float64 {
 
 func (h *Histogram) String() string {
 	q := h.Percentiles(50, 95, 99)
-	return fmt.Sprintf("mean=%.3g p50=%.3g p95=%.3g p99=%.3g (n=%d)",
-		h.Mean(), q[0], q[1], q[2], h.n)
+	return fmt.Sprintf("mean=%.3g p50=%.3g p95=%.3g p99=%.3g min=%.3g max=%.3g (n=%d)",
+		h.Mean(), q[0], q[1], q[2], h.min, h.max, h.n)
 }

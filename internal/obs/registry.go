@@ -125,15 +125,23 @@ type Observer struct {
 	Metrics *Registry
 	Events  *EventLog
 	Util    *Util
+	Flight  *Flight // always-on flight recorder (flight.go)
 
 	slo *SLOReport // current run's service-level report (slo.go)
 }
 
 // New returns an Observer with an empty registry, a disabled event log
-// of the default capacity, and an empty utilization registry wired to
-// mirror counter samples into the event log.
+// of the default capacity, an empty utilization registry wired to
+// mirror counter samples into the event log, and an always-on flight
+// recorder teed off the event log's flow-tagged spans.
 func New() *Observer {
-	o := &Observer{Metrics: NewRegistry(), Events: NewEventLog(0), Util: NewUtil(0)}
+	o := &Observer{
+		Metrics: NewRegistry(),
+		Events:  NewEventLog(0),
+		Util:    NewUtil(0),
+		Flight:  NewFlight(FlightConfig{}),
+	}
 	o.Util.SetEventLog(o.Events)
+	o.Events.SetFlight(o.Flight)
 	return o
 }

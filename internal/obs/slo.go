@@ -20,7 +20,19 @@ type SLOClass struct {
 	P50Ns  int64 `json:"p50_ns"`
 	P99Ns  int64 `json:"p99_ns"`
 	P999Ns int64 `json:"p999_ns"`
+	MinNs  int64 `json:"min_ns"`
 	MaxNs  int64 `json:"max_ns"`
+
+	// Exemplars are the worst completed requests of the class: the
+	// latency and the virtual-time completion instant, so the p99 row
+	// links to concrete requests in the flight recorder's window.
+	Exemplars []SLOExemplar `json:"exemplars,omitempty"`
+}
+
+// SLOExemplar is one retained worst-case request of a traffic class.
+type SLOExemplar struct {
+	LatNs int64 `json:"lat_ns"`
+	AtNs  int64 `json:"at_ns"` // virtual-time completion instant
 }
 
 // SLOReport is the per-run service-level summary exported at
@@ -86,8 +98,11 @@ func (s *SLOReport) Render() string {
 		c := s.Classes[n]
 		fmt.Fprintf(&b, "%s.offered %d\n%s.completed %d\n%s.timeouts %d\n%s.drops %d\n%s.refused %d\n",
 			n, c.Offered, n, c.Completed, n, c.Timeouts, n, c.Drops, n, c.Refused)
-		fmt.Fprintf(&b, "%s.p50_ns %d\n%s.p99_ns %d\n%s.p999_ns %d\n%s.max_ns %d\n",
-			n, c.P50Ns, n, c.P99Ns, n, c.P999Ns, n, c.MaxNs)
+		fmt.Fprintf(&b, "%s.p50_ns %d\n%s.p99_ns %d\n%s.p999_ns %d\n%s.min_ns %d\n%s.max_ns %d\n",
+			n, c.P50Ns, n, c.P99Ns, n, c.P999Ns, n, c.MinNs, n, c.MaxNs)
+		for i, e := range c.Exemplars {
+			fmt.Fprintf(&b, "%s.exemplar.%d lat_ns=%d at_ns=%d\n", n, i, e.LatNs, e.AtNs)
+		}
 	}
 	return b.String()
 }

@@ -173,6 +173,10 @@ func (o *OS) WorkerID(p *sim.Proc) int {
 // Workers returns the current worker-pool size.
 func (o *OS) Workers() int { return o.workers }
 
+// IdleWorkers returns how many pool workers are blocked on an empty
+// workqueue right now — the live-top view's busy/idle split.
+func (o *OS) IdleWorkers() int { return o.idleWorkers }
+
 // Config returns the kernel cost parameters.
 func (o *OS) Config() Config { return o.cfg }
 

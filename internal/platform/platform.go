@@ -40,6 +40,11 @@ type Config struct {
 	// exists (so metrics always render) but fires nothing and no
 	// recovery machinery arms.
 	Faults *fault.Plan
+
+	// EventCap sizes the event-log ring (obs.DefaultEventCap when 0) —
+	// long fleet runs wrap the default 1<<16 window and silently drop
+	// the interesting early events.
+	EventCap int
 }
 
 // DefaultConfig mirrors the paper's FX-9800P platform (Table III): 4 CPU
@@ -252,6 +257,9 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 	})
 
 	ev := m.Obs.Events
+	if m.Cfg.EventCap > 0 {
+		ev.SetCapacity(m.Cfg.EventCap)
+	}
 	reg.RegisterGauge("obs.events_dropped", ev.Dropped)
 	reg.RegisterGauge("obs.events_rejected", ev.Rejected)
 	ev.NameProcess(obs.PIDGPU, "gpu")
@@ -292,6 +300,42 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 	// renders; tests and experiments may replace it.
 	m.Genesys.SetTracer(core.NewTracer())
 
+	// Exact end-to-end latency extremes (satellite of the percentile
+	// views): the running tracer's min/max, readable without Perfetto.
+	reg.RegisterGauge("genesys.total_lat_min_ns", func() int64 {
+		if t := m.Genesys.Tracer(); t != nil {
+			return int64(t.Total().Min() * 1000) // µs → ns
+		}
+		return 0
+	})
+	reg.RegisterGauge("genesys.total_lat_max_ns", func() int64 {
+		if t := m.Genesys.Tracer(); t != nil {
+			return int64(t.Total().Max() * 1000)
+		}
+		return 0
+	})
+
+	// The always-on flight recorder: the event log tees flow-tagged
+	// spans to it (wired in obs.New), GENESYS feeds its per-call
+	// detectors, the injector notifies it of surfaced faults, and the
+	// snapshot sources below freeze the machine state views into each
+	// diagnostic bundle at its trigger instant.
+	fl := m.Obs.Flight
+	m.Genesys.SetFlight(fl)
+	m.Inject.SetSurfacedHook(func() { fl.NoteSurfaced(m.E.Now()) })
+	fl.AddSnapshot("critpath", func() []byte {
+		if t := m.Genesys.Tracer(); t != nil {
+			return []byte(t.CritPath())
+		}
+		return []byte("no tracer attached\n")
+	})
+	fl.AddSnapshot("metrics", func() []byte { return []byte(reg.Render()) })
+	fl.AddSnapshot("util", func() []byte { return []byte(util.Render(m.E.Now())) })
+	reg.RegisterGauge("obs.flight_anomalies", fl.Anomalies)
+	reg.RegisterGauge("obs.flight_bundles", func() int64 { return int64(fl.BundleCount()) })
+	reg.RegisterGauge("obs.flight_chains", func() int64 { return int64(fl.Chains()) })
+	reg.RegisterGauge("obs.flight_suppressed", fl.Suppressed)
+
 	if m.OS.SysfsRoot != nil {
 		m.OS.SysfsRoot.Add("metrics", &fs.GenFile{Gen: func() []byte {
 			return []byte(reg.Render())
@@ -307,6 +351,12 @@ func (m *Machine) wireObservability(pool *vmm.Pool) {
 				return []byte(s.Render())
 			}
 			return []byte("no service-level report (no fleet run yet)\n")
+		}})
+		m.OS.SysfsRoot.Add("flight", &fs.GenFile{Gen: func() []byte {
+			return []byte(fl.Render())
+		}})
+		m.OS.SysfsRoot.Add("top", &fs.GenFile{Gen: func() []byte {
+			return []byte(m.RenderTop())
 		}})
 	}
 }

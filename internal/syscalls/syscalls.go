@@ -552,7 +552,7 @@ func sysSendto(c *Ctx, r *Request) {
 // netSpan records a socket operation on the netstack process's timeline,
 // linked into the call's causal flow chain when it carries a trace ID.
 func netSpan(c *Ctx, op string, r *Request, port int, t0 sim.Time) {
-	if !c.Events.Enabled() {
+	if !c.Events.CaptureActive() {
 		return
 	}
 	fp, fn := obs.FlowNone, ""

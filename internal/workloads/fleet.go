@@ -122,8 +122,8 @@ type fleetHarness struct {
 	m   *platform.Machine
 	cfg FleetConfig
 
-	udpLat    []float64
-	streamLat []float64
+	udpLat    []latSample
+	streamLat []latSample
 	udp       obs.SLOClass
 	stream    obs.SLOClass
 
@@ -132,6 +132,20 @@ type fleetHarness struct {
 	streamLeft int  // stream sessions not yet resolved
 	stop       bool // read by the GPU serving loops each poll tick
 	sessions   int64
+}
+
+// latSample is one completed request's latency plus its virtual-time
+// completion instant — the instant is what lets SLO exemplars point
+// into the flight recorder's retained window.
+type latSample struct {
+	ns float64
+	at sim.Time
+}
+
+// noteRequest feeds one client-observed outcome into the flight
+// recorder's SLO burn-rate detector (nil-safe, pure accounting).
+func (h *fleetHarness) noteRequest(at sim.Time, ok bool) {
+	h.m.Obs.Flight.NoteRequest(at, ok)
 }
 
 // maybeStop flips the server stop flag once every session of both
@@ -201,7 +215,9 @@ func (s *udpSession) onReply(dg netstack.Datagram) {
 	s.tmr.Cancel()
 	h := s.h
 	h.udp.Completed++
-	h.udpLat = append(h.udpLat, float64(h.m.E.Now()-s.t0))
+	now := h.m.E.Now()
+	h.udpLat = append(h.udpLat, latSample{ns: float64(now - s.t0), at: now})
+	h.noteRequest(now, true)
 	s.idx++
 	s.sendNext()
 }
@@ -211,6 +227,7 @@ func (s *udpSession) onTimeout(seq uint32) {
 		return // a reply advanced the session first
 	}
 	s.h.udp.Timeouts++
+	s.h.noteRequest(s.h.m.E.Now(), false)
 	s.seq++ // invalidate any late reply to the timed-out request
 	s.idx++
 	s.sendNext()
@@ -251,6 +268,7 @@ func (h *fleetHarness) runStreamWorker(p *sim.Proc, id int) {
 			h.stream.Offered++
 			if _, err := sk.Send(p, mcRequest(seq, bucket, elem)); err != nil {
 				h.stream.Drops++
+				h.noteRequest(p.Now(), false)
 				break
 			}
 			deadline := t0 + cfg.Timeout
@@ -280,10 +298,12 @@ func (h *fleetHarness) runStreamWorker(p *sim.Proc, id int) {
 				got += n
 			}
 			if !ok {
+				h.noteRequest(p.Now(), false)
 				break // conn state is ambiguous after a miss; churn it
 			}
 			h.stream.Completed++
-			h.streamLat = append(h.streamLat, float64(p.Now()-t0))
+			h.streamLat = append(h.streamLat, latSample{ns: float64(p.Now() - t0), at: p.Now()})
+			h.noteRequest(p.Now(), true)
 		}
 		sk.Close()
 		h.streamLeft--
@@ -439,13 +459,38 @@ func StartFleet(m *platform.Machine, cfg FleetConfig) (*FleetRun, error) {
 	return &FleetRun{m: m, cfg: cfg, h: h}, nil
 }
 
-// fillClass copies the counters and distills the latency percentiles.
-func fillClass(dst, src *obs.SLOClass, lat []float64) {
+// fillClass copies the counters, distills the latency percentiles and
+// exact min/max, and retains the worst requests as exemplars.
+func fillClass(dst, src *obs.SLOClass, lat []latSample) {
 	*dst = *src
 	if len(lat) == 0 {
 		return
 	}
-	ps := sim.Percentiles(lat, 50, 99, 99.9, 100)
+	vals := make([]float64, len(lat))
+	for i, s := range lat {
+		vals[i] = s.ns
+	}
+	ps := sim.Percentiles(vals, 0, 50, 99, 99.9, 100)
+	dst.MinNs = int64(ps[0])
 	dst.P50Ns, dst.P99Ns, dst.P999Ns, dst.MaxNs =
-		int64(ps[0]), int64(ps[1]), int64(ps[2]), int64(ps[3])
+		int64(ps[1]), int64(ps[2]), int64(ps[3]), int64(ps[4])
+	// Top-K worst requests in completion order; strictly-greater
+	// insertion keeps the earliest on ties (deterministic).
+	var ex []obs.SLOExemplar
+	for _, s := range lat {
+		i := len(ex)
+		for i > 0 && s.ns > float64(ex[i-1].LatNs) {
+			i--
+		}
+		if i >= obs.ExemplarK {
+			continue
+		}
+		ex = append(ex, obs.SLOExemplar{})
+		copy(ex[i+1:], ex[i:])
+		ex[i] = obs.SLOExemplar{LatNs: int64(s.ns), AtNs: int64(s.at)}
+		if len(ex) > obs.ExemplarK {
+			ex = ex[:obs.ExemplarK]
+		}
+	}
+	dst.Exemplars = ex
 }
