@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench
+.PHONY: all build test check vet race bench baselines
 
 all: build
 
@@ -14,16 +14,25 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # check is the full pre-merge gate: compile everything, lint with vet,
 # run the test suite, then run it again under the race detector.
 check: build vet
 	$(GO) test ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # bench runs the engine microbenchmarks and the host wall-clock suite
 # (writes BENCH_<case>.json + BENCH_host.json to the current directory).
+# The suite drives one machine per core by default; use
+# `genesys bench -parallel 1` for a sequential reference run and
+# `-seeds 1,2,...` for a multi-seed sweep (seed-<S>/ subdirectories).
 bench:
 	$(GO) test ./internal/sim -bench . -benchmem -run '^$$'
 	$(GO) run ./cmd/genesys bench
+
+# baselines regenerates the committed sentry baselines. Sequential on
+# purpose: per-case wall_ms in BENCH_host.json is only comparable to a
+# fresh run at the same parallelism, and CI's sentry job runs -parallel 1.
+baselines:
+	$(GO) run ./cmd/genesys bench -parallel 1 -out baselines

@@ -13,12 +13,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"genesys/internal/core"
@@ -34,7 +36,7 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   genesys run [-runs N] [-seed S] [-trace FILE] [-trace-cap N] [-flight-out DIR] [-metrics] [-critpath] [-faults P] <experiment|all> [...]
-  genesys bench [-seed S] [-out DIR] [-ckpt-at DUR] [case ...]
+  genesys bench [-seed S | -seeds S1,S2,..] [-parallel N] [-out DIR] [-ckpt-at DUR] [case ...]
   genesys sentry [-baseline DIR] [-wall-factor F] -fresh DIR
   genesys ckpt -case NAME [-seed S] -at DUR -out FILE
   genesys restore [-out DIR] FILE
@@ -62,9 +64,14 @@ run flags:
   -fault-rate R per-opportunity injection probability (default %.2f)
 
 bench: run the fixed deterministic perf suite, writing one
-BENCH_<case>.json per case (all cases when none are named). With
--ckpt-at, also write CKPT_<case>.json — a snapshot of each case cut at
-the given virtual instant (restore with 'genesys restore').
+BENCH_<case>.json per case (all cases when none are named). -parallel N
+(default: host cores) simulates up to N fully isolated machines
+concurrently — one per (case, seed) — with results merged in case
+order, byte-identical to -parallel 1; -seeds runs the suite under
+several seeds at once, each seed's virtual-time artifacts in
+OUT/seed-<S>/. With -ckpt-at, also write CKPT_<case>.json — a snapshot
+of each case cut at the given virtual instant (restore with 'genesys
+restore').
 bench cases: %v
 
 ckpt/restore: checkpoint a bench case mid-run to a snapshot file;
@@ -270,111 +277,118 @@ func sentryCmd(args []string) {
 	}
 }
 
-// hostCase is one row of BENCH_host.json: wall-clock throughput of a
-// bench case on this machine. Unlike BENCH_<case>.json these numbers
-// are host-dependent and excluded from the determinism gate.
-type hostCase struct {
-	Name               string  `json:"name"`
-	Seed               int64   `json:"seed"`
-	Calls              int     `json:"calls"`
-	WallMS             float64 `json:"wall_ms"`
-	SyscallsPerHostSec float64 `json:"syscalls_per_host_sec"`
-	SimEventsTotal     uint64  `json:"sim_events_total"`
-	EventsPerHostSec   float64 `json:"events_per_host_sec"`
-	SimProcSwitches    uint64  `json:"sim_proc_switches_total"`
-	SimReadyFast       uint64  `json:"sim_events_ready_fast"`
-	SimCallbacksRun    uint64  `json:"sim_callbacks_run"`
-	SimProcsReaped     uint64  `json:"sim_procs_reaped"`
-	SimTimersCanceled  uint64  `json:"sim_timers_canceled"`
-}
-
-// hostReport is the BENCH_host.json document.
-type hostReport struct {
-	GoVersion string     `json:"go_version"`
-	GOOS      string     `json:"goos"`
-	GOARCH    string     `json:"goarch"`
-	Cases     []hostCase `json:"cases"`
-}
-
-func perHostSec(n uint64, wall time.Duration) float64 {
-	if wall <= 0 {
-		return 0
+// parseSeeds parses the -seeds list ("1,2,7") into machine seeds.
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in -seeds", part)
+		}
+		out = append(out, v)
 	}
-	return float64(n) / wall.Seconds()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-seeds lists no seeds")
+	}
+	return out, nil
 }
 
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "machine seed")
+	seeds := fs.String("seeds", "", "comma-separated machine seeds; each seed's artifacts land in OUT/seed-<S>/ (overrides -seed)")
 	outDir := fs.String("out", ".", "directory the BENCH_<case>.json files are written to")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "max machines simulated concurrently (1 = sequential driver)")
 	ckptAt := fs.Duration("ckpt-at", 0, "also snapshot each case at this virtual instant (CKPT_<case>.json)")
 	_ = fs.Parse(args)
-	names := fs.Args()
-	if len(names) == 0 {
-		names = experiments.BenchNames()
+	opt := experiments.SuiteOptions{
+		Cases:    fs.Args(),
+		Seeds:    []int64{*seed},
+		Parallel: *parallel,
 	}
-	report := hostReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+	if *seeds != "" {
+		var err error
+		if opt.Seeds, err = parseSeeds(*seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
 	}
-	for _, name := range names {
-		res, host, artifacts, err := experiments.RunBenchArtifacts(name, *seed)
-		if err != nil {
+	multiSeed := len(opt.Seeds) > 1
+	// caseDir is where one unit's virtual-time artifacts land: flat for
+	// a single seed (today's layout), per-seed subdirs for -seeds.
+	caseDir := func(s int64) string {
+		if !multiSeed {
+			return *outDir
+		}
+		return filepath.Join(*outDir, fmt.Sprintf("seed-%d", s))
+	}
+	for _, s := range opt.Seeds {
+		if err := os.MkdirAll(caseDir(s), 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
-		path := filepath.Join(*outDir, "BENCH_"+name+".json")
-		if err := os.WriteFile(path, res.JSON(), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
-		}
-		for aname, data := range artifacts {
-			apath := filepath.Join(*outDir, aname)
-			if err := os.WriteFile(apath, data, 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("%-16s artifact -> %s\n", name, apath)
-		}
-		wall := time.Duration(host.WallNS)
-		report.Cases = append(report.Cases, hostCase{
-			Name:               name,
-			Seed:               *seed,
-			Calls:              res.Calls,
-			WallMS:             float64(host.WallNS) / 1e6,
-			SyscallsPerHostSec: perHostSec(uint64(res.Calls), wall),
-			SimEventsTotal:     host.Events,
-			EventsPerHostSec:   perHostSec(host.Events, wall),
-			SimProcSwitches:    host.ProcSwitches,
-			SimReadyFast:       host.ReadyFast,
-			SimCallbacksRun:    host.CallbacksRun,
-			SimProcsReaped:     host.ProcsReaped,
-			SimTimersCanceled:  host.TimersCanceled,
-		})
-		fmt.Printf("%-16s %6d calls  p50 %8.2fus  p99 %8.2fus  cpu %5.1f%%  %9.0f calls/s  -> %s (%v)\n",
-			name, res.Calls, res.P50US, res.P99US, res.CPUUtilPct,
-			perHostSec(uint64(res.Calls), wall), path, wall.Round(time.Millisecond))
-		if *ckptAt > 0 {
-			spath := filepath.Join(*outDir, "CKPT_"+name+".json")
-			if err := experiments.CheckpointBench(name, *seed, sim.Time(ckptAt.Nanoseconds()), spath); err != nil {
-				fmt.Fprintf(os.Stderr, "bench: checkpoint %s: %v\n", name, err)
-				os.Exit(1)
-			}
-			fmt.Printf("%-16s snapshot at t=%v -> %s\n", name, *ckptAt, spath)
-		}
 	}
-	hb, err := json.MarshalIndent(report, "", "  ")
+	suite, err := experiments.RunBenchSuite(opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
+	// All writes and console lines happen after the merge, in the
+	// suite's deterministic unit order — worker goroutines never touch
+	// stdout or the filesystem, so -parallel N output is identical to
+	// -parallel 1 modulo the wall-clock numbers.
+	for _, c := range suite.Cases {
+		dir := caseDir(c.Seed)
+		label := c.Name
+		if multiSeed {
+			label = fmt.Sprintf("%s@%d", c.Name, c.Seed)
+		}
+		path := filepath.Join(dir, "BENCH_"+c.Name+".json")
+		if err := os.WriteFile(path, c.Result.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		anames := make([]string, 0, len(c.Artifacts))
+		for aname := range c.Artifacts {
+			anames = append(anames, aname)
+		}
+		sort.Strings(anames)
+		for _, aname := range anames {
+			apath := filepath.Join(dir, aname)
+			if err := os.WriteFile(apath, c.Artifacts[aname], 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-16s artifact -> %s\n", label, apath)
+		}
+		wall := time.Duration(c.Host.WallNS)
+		calls := float64(0)
+		if wall > 0 {
+			calls = float64(c.Result.Calls) / wall.Seconds()
+		}
+		fmt.Printf("%-16s %6d calls  p50 %8.2fus  p99 %8.2fus  cpu %5.1f%%  %9.0f calls/s  -> %s (%v)\n",
+			label, c.Result.Calls, c.Result.P50US, c.Result.P99US, c.Result.CPUUtilPct,
+			calls, path, wall.Round(time.Millisecond))
+		if *ckptAt > 0 {
+			spath := filepath.Join(dir, "CKPT_"+c.Name+".json")
+			if err := experiments.CheckpointBench(c.Name, c.Seed, sim.Time(ckptAt.Nanoseconds()), spath); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: checkpoint %s: %v\n", c.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-16s snapshot at t=%v -> %s\n", label, *ckptAt, spath)
+		}
+	}
 	hostPath := filepath.Join(*outDir, "BENCH_host.json")
-	if err := os.WriteFile(hostPath, append(hb, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(hostPath, suite.HostReport().JSON(), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("host wall-clock report -> %s\n", hostPath)
+	fmt.Printf("host wall-clock report -> %s (%d worker(s), suite wall %v)\n",
+		hostPath, suite.Workers, time.Duration(suite.WallNS).Round(time.Millisecond))
 }
 
 func classifyCmd() {

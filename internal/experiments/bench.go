@@ -282,15 +282,20 @@ type BenchRun struct {
 	finish    func() error
 }
 
+// benchCaseByName returns the named bench case, or nil.
+func benchCaseByName(name string) *benchCase {
+	for i := range benchCases {
+		if benchCases[i].name == name {
+			return &benchCases[i]
+		}
+	}
+	return nil
+}
+
 // StartBench builds the machine for one bench case and stages its
 // workload without driving the engine.
 func StartBench(name string, seed int64) (*BenchRun, error) {
-	var bc *benchCase
-	for i := range benchCases {
-		if benchCases[i].name == name {
-			bc = &benchCases[i]
-		}
-	}
+	bc := benchCaseByName(name)
 	if bc == nil {
 		return nil, fmt.Errorf("bench: unknown case %q (have %v)", name, BenchNames())
 	}

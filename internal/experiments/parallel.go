@@ -1,0 +1,160 @@
+package experiments
+
+// The parallel multi-machine bench driver: N fully isolated simulated
+// machines run concurrently in one host process, one per (case, seed)
+// work unit. Isolation is structural — every machine owns its own
+// sim.Engine, obs.Registry, obs.Flight, fault plan and artifact buffers
+// (RunBenchArtifacts builds all of them inside the worker goroutine and
+// nothing escapes but the finished SuiteCase) — so a parallel run
+// produces BENCH_<case>.json / SLO_*.json / ANOMALY_*.json bytes
+// identical to a sequential one for the same seed. Results are merged
+// in work-unit order (seeds in the order given, cases in emission
+// order), never in completion order, so everything downstream of the
+// driver — file writes, console lines, the host report's case table —
+// is deterministic even though scheduling is not. Only host wall-clock
+// telemetry (HostStats, the parallel schedule) reflects the actual
+// nondeterministic execution, and that is exactly the part BENCH_host.json
+// carries outside the byte-identity gate.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SuiteOptions parameterizes one bench-suite invocation.
+type SuiteOptions struct {
+	// Cases are the bench case names to run (all, in emission order,
+	// when empty).
+	Cases []string
+	// Seeds are the machine seeds to run every case under (seed 1 when
+	// empty). Each (case, seed) pair is one work unit with its own
+	// machine.
+	Seeds []int64
+	// Parallel is the maximum number of machines simulated concurrently;
+	// values <= 1 run every unit sequentially in the calling goroutine —
+	// byte-for-byte the pre-parallel driver.
+	Parallel int
+}
+
+// SuiteCase is one completed (case, seed) work unit.
+type SuiteCase struct {
+	Name      string
+	Seed      int64
+	Result    BenchResult
+	Host      HostStats
+	Artifacts map[string][]byte
+	// Worker is the driver worker that ran this unit (0 for a
+	// sequential run). Host-side telemetry only: which worker a unit
+	// lands on is scheduling-dependent.
+	Worker int
+}
+
+// SuiteResult is a completed bench-suite run: every work unit in
+// deterministic merge order plus the suite-level host telemetry.
+type SuiteResult struct {
+	Cases    []SuiteCase
+	Parallel int   // requested parallelism
+	Workers  int   // workers actually used: min(Parallel, units)
+	WallNS   int64 // end-to-end suite wall clock
+}
+
+// normalize resolves defaults and validates every case name up front,
+// so an unknown case fails fast instead of after minutes of simulation.
+func (o SuiteOptions) normalize() (SuiteOptions, error) {
+	if len(o.Cases) == 0 {
+		o.Cases = BenchNames()
+	}
+	for _, name := range o.Cases {
+		if benchCaseByName(name) == nil {
+			return o, fmt.Errorf("unknown case %q (have %v)", name, BenchNames())
+		}
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1}
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+	return o, nil
+}
+
+// RunBenchSuite runs the (case × seed) work grid, at most opt.Parallel
+// machines at a time, and returns the merged results: seeds in the
+// order given, cases in emission order within each seed — regardless of
+// which unit finished first.
+func RunBenchSuite(opt SuiteOptions) (*SuiteResult, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	type unit struct {
+		name string
+		seed int64
+	}
+	units := make([]unit, 0, len(opt.Seeds)*len(opt.Cases))
+	for _, seed := range opt.Seeds {
+		for _, name := range opt.Cases {
+			units = append(units, unit{name, seed})
+		}
+	}
+	out := make([]SuiteCase, len(units))
+	errs := make([]error, len(units))
+	runUnit := func(i, worker int) {
+		u := units[i]
+		res, host, artifacts, err := RunBenchArtifacts(u.name, u.seed)
+		out[i] = SuiteCase{Name: u.name, Seed: u.seed, Result: res,
+			Host: host, Artifacts: artifacts, Worker: worker}
+		errs[i] = err
+	}
+	start := time.Now()
+	workers := opt.Parallel
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		// The sequential path: today's behavior, one machine at a time
+		// in the calling goroutine.
+		workers = 1
+		for i := range units {
+			runUnit(i, 0)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		// Worker pool over a shared index feed. Workers share nothing
+		// but the feed channel and their disjoint out/errs slots; each
+		// machine is built, run and distilled entirely inside one
+		// worker goroutine.
+		feed := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for i := range feed {
+					runUnit(i, worker)
+				}
+			}(w)
+		}
+		for i := range units {
+			feed <- i
+		}
+		close(feed)
+		wg.Wait()
+		// First error in unit order, not completion order, so the
+		// reported failure is deterministic too.
+		for i := range units {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	}
+	return &SuiteResult{
+		Cases:    out,
+		Parallel: opt.Parallel,
+		Workers:  workers,
+		WallNS:   time.Since(start).Nanoseconds(),
+	}, nil
+}

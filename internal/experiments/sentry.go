@@ -143,11 +143,14 @@ func RunSentry(baselineDir, freshDir string, opt SentryOptions) (*SentryReport, 
 	return rep, nil
 }
 
-// artifactSet maps artifact basename → path for the BENCH_*/SLO_* files
-// of one directory.
+// artifactSet maps artifact basename → path for the virtual-time
+// artifacts of one directory: BENCH_*/SLO_* plus any ANOMALY_* bundles.
+// Clean bench runs emit no bundles, so a fresh ANOMALY file without a
+// committed baseline is itself a finding — a detector fired where the
+// baseline run was quiet.
 func artifactSet(dir string) (map[string]string, error) {
 	out := make(map[string]string)
-	for _, pat := range []string{"BENCH_*.json", "SLO_*.json"} {
+	for _, pat := range []string{"BENCH_*.json", "SLO_*.json", "ANOMALY_*.json"} {
 		matches, err := filepath.Glob(filepath.Join(dir, pat))
 		if err != nil {
 			return nil, err

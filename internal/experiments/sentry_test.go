@@ -122,6 +122,108 @@ func TestSentryMissingAndExtraFiles(t *testing.T) {
 	}
 }
 
+// TestSentryHostSchemaTolerant pins the additive-schema contract for
+// BENCH_host.json: a baseline written before the parallel driver (cases
+// with only name + wall_ms, no host_cores/parallel_schedule/
+// events_per_host_second_per_core) must still threshold cleanly against
+// a fresh report carrying every new field — and the wall-clock
+// threshold must still bite through the new schema.
+func TestSentryHostSchemaTolerant(t *testing.T) {
+	freshHost := `{
+  "go_version": "go1.22",
+  "goos": "linux",
+  "goarch": "amd64",
+  "host_cores": 8,
+  "parallel": 8,
+  "parallel_workers": 2,
+  "suite_wall_ms": 120.5,
+  "events_per_host_second_per_core": 1500000,
+  "parallel_schedule": [
+    {"case": "fleet", "seed": 1, "worker": 0, "wall_ms": 110.0},
+    {"case": "idle", "seed": 1, "worker": 1, "wall_ms": 1.1}
+  ],
+  "cases": [
+    {"name": "fleet", "seed": 1, "wall_ms": 110.0, "parallel_worker": 0},
+    {"name": "idle", "seed": 1, "wall_ms": 1.1, "parallel_worker": 1}
+  ]
+}`
+	base, fresh := t.TempDir(), t.TempDir()
+	writeArtifacts(t, base, sentryBaseline)
+	ok := map[string]string{}
+	for k, v := range sentryBaseline {
+		ok[k] = v
+	}
+	ok["BENCH_host.json"] = freshHost
+	writeArtifacts(t, fresh, ok)
+	rep, err := RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("new host fields hard-failed an old baseline:\n%s", rep.Render())
+	}
+	// Same schema, inflated wall: the threshold semantics are unchanged.
+	bad := map[string]string{}
+	for k, v := range ok {
+		bad[k] = v
+	}
+	bad["BENCH_host.json"] = strings.Replace(freshHost, `"name": "fleet", "seed": 1, "wall_ms": 110.0`,
+		`"name": "fleet", "seed": 1, "wall_ms": 2000.0`, 1)
+	writeArtifacts(t, fresh, bad)
+	rep, err = RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("wall threshold lost through the new schema:\n%s", rep.Render())
+	}
+}
+
+// TestSentryGatesAnomalyBundles: a fresh ANOMALY bundle with no
+// committed counterpart fails (a detector fired where the baseline was
+// quiet), and a bundle that drifts from its committed bytes fails like
+// any other virtual-time artifact.
+func TestSentryGatesAnomalyBundles(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeArtifacts(t, base, sentryBaseline)
+	withBundle := map[string]string{}
+	for k, v := range sentryBaseline {
+		withBundle[k] = v
+	}
+	withBundle["ANOMALY_fleet_001_slo-burn.json"] = `{"reason":"slo-burn","at_ns":412000}`
+	writeArtifacts(t, fresh, withBundle)
+	rep, err := RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || !strings.Contains(rep.Render(), "ANOMALY_fleet_001_slo-burn.json") {
+		t.Fatalf("ungated fresh anomaly bundle not flagged:\n%s", rep.Render())
+	}
+	// Committed bundle + identical fresh bundle: clean.
+	writeArtifacts(t, base, withBundle)
+	rep, err = RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("identical bundles failed:\n%s", rep.Render())
+	}
+	// Drifted bundle bytes: a determinism failure.
+	drift := map[string]string{}
+	for k, v := range withBundle {
+		drift[k] = v
+	}
+	drift["ANOMALY_fleet_001_slo-burn.json"] = `{"reason":"slo-burn","at_ns":999000}`
+	writeArtifacts(t, fresh, drift)
+	rep, err = RunSentry(base, fresh, SentryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || !strings.Contains(rep.Render(), "at_ns") {
+		t.Fatalf("drifted bundle not flagged per-metric:\n%s", rep.Render())
+	}
+}
+
 func TestSentryEmptyBaselineDirErrors(t *testing.T) {
 	if _, err := RunSentry(t.TempDir(), t.TempDir(), SentryOptions{}); err == nil {
 		t.Fatal("empty baseline dir accepted")

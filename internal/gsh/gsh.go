@@ -9,6 +9,7 @@ package gsh
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"genesys/internal/errno"
@@ -109,7 +110,7 @@ var commands = map[string]command{
 	"critpath": {"critpath", cmdCritpath},
 	"slo":      {"slo", cmdSLO},
 	"flight":   {"flight", cmdFlight},
-	"top":      {"top [frames [interval_us]]", cmdTop},
+	"top":      {topUsage, cmdTop},
 }
 
 // help is registered in init: cmdHelp renders Usage, which reads the
@@ -343,6 +344,8 @@ func cmdFlight(s *Shell, w *gpu.Wavefront, args []string) error {
 	return catSysfs(s, w, "/sys/genesys/flight")
 }
 
+const topUsage = "top [frames [interval_us]]"
+
 // cmdTop renders the live dashboard: `top [frames [interval_us]]`
 // refreshes /sys/genesys/top every interval of *virtual* time (default
 // 1 frame; 500µs interval), so successive frames show the machine
@@ -351,15 +354,22 @@ func cmdFlight(s *Shell, w *gpu.Wavefront, args []string) error {
 func cmdTop(s *Shell, w *gpu.Wavefront, args []string) error {
 	frames := 1
 	interval := 500 * sim.Microsecond
+	// Both arguments must be whole positive integers: zero or negative
+	// frames render nothing, and a zero or negative interval would make
+	// every extra frame re-render the same instant without virtual time
+	// ever advancing. strconv (not Sscanf) so trailing garbage like
+	// "500x" is a usage error too, not silently truncated.
 	if len(args) >= 1 {
-		if _, err := fmt.Sscanf(args[0], "%d", &frames); err != nil || frames < 1 {
-			return errno.EINVAL
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad frames %q (usage: %s)", args[0], topUsage)
 		}
+		frames = n
 	}
 	if len(args) >= 2 {
-		var us int
-		if _, err := fmt.Sscanf(args[1], "%d", &us); err != nil || us < 1 {
-			return errno.EINVAL
+		us, err := strconv.Atoi(args[1])
+		if err != nil || us < 1 {
+			return fmt.Errorf("bad interval_us %q (usage: %s)", args[1], topUsage)
 		}
 		interval = sim.Time(us) * sim.Microsecond
 	}

@@ -215,13 +215,31 @@ flight  chains=11 anomalies=0 bundles=0 burn=0/0 (0.0% bad)
 	}
 }
 
+// TestTopBadArgs: every malformed frames/interval argument must be a
+// usage error that names the bad value. The interval cases guard a real
+// hang class — `top N 0` used to be representable as frames that never
+// advance virtual time, re-rendering the same instant N times.
 func TestTopBadArgs(t *testing.T) {
 	s := newShell(t)
-	if out, err := s.Run("top zero"); err == nil || !strings.Contains(out, "EINVAL") {
-		t.Fatalf("top zero: err=%v out=%q", err, out)
+	for _, tc := range []struct{ line, want string }{
+		{"top zero", "bad frames"},
+		{"top 0", "bad frames"},
+		{"top -2", "bad frames"},
+		{"top 2x", "bad frames"},
+		{"top 1 -5", "bad interval_us"},
+		{"top 2 0", "bad interval_us"},
+		{"top 2 500x", "bad interval_us"},
+		{"top 2 1e3", "bad interval_us"},
+	} {
+		out, err := s.Run(tc.line)
+		if err == nil || !strings.Contains(out, tc.want) || !strings.Contains(out, "usage: top [frames [interval_us]]") {
+			t.Fatalf("%s: err=%v out=%q, want %q + usage", tc.line, err, out, tc.want)
+		}
 	}
-	if out, err := s.Run("top 1 -5"); err == nil || !strings.Contains(out, "EINVAL") {
-		t.Fatalf("top 1 -5: err=%v out=%q", err, out)
+	// A usage error must not advance the session: the next valid render
+	// still works.
+	if _, err := s.Run("top 1"); err != nil {
+		t.Fatalf("top 1 after bad args: %v", err)
 	}
 }
 

@@ -239,12 +239,26 @@ func (s *udpSession) finish() {
 	s.h.maybeStop()
 }
 
+// workerSeed derives stream worker id's RNG seed from the run seed with
+// a splitmix64 finalizer. The previous `seed ^ 7919*(id+1)` xor salt
+// left adjacent worker ids with seeds a few low bits apart, and
+// math/rand's LCG-seeded source turns nearby seeds into visibly
+// correlated streams — every worker drew near-identical arrival gaps
+// and key sequences, understating contention spread. The mixer's
+// avalanche breaks that: one id step flips ~half the output bits.
+func workerSeed(seed int64, id int) int64 {
+	z := uint64(seed) + uint64(id+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // runStreamWorker churns one pool worker through its share of stream
 // sessions: connect, issue fixed-size GETs with a reply deadline each,
 // close, repeat.
 func (h *fleetHarness) runStreamWorker(p *sim.Proc, id int) {
 	cfg := h.cfg
-	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(7919*(id+1))))
+	rng := rand.New(rand.NewSource(workerSeed(cfg.Seed, id)))
 	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Buckets-1))
 	replySize := mcReplyHdr + cfg.ValueBytes
 	buf := make([]byte, 4096)
