@@ -36,7 +36,8 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   genesys run [-runs N] [-seed S] [-trace FILE] [-trace-cap N] [-flight-out DIR] [-metrics] [-critpath] [-faults P] <experiment|all> [...]
-  genesys bench [-seed S | -seeds S1,S2,..] [-parallel N] [-out DIR] [-ckpt-at DUR] [case ...]
+  genesys bench [-seed S | -seeds S1,S2,..] [-parallel N] [-out DIR] [-ckpt-at DUR]
+                [-cpuprofile FILE] [-memprofile FILE] [case ...]
   genesys sentry [-baseline DIR] [-wall-factor F] -fresh DIR
   genesys ckpt -case NAME [-seed S] -at DUR -out FILE
   genesys restore [-out DIR] FILE
@@ -304,11 +305,15 @@ func benchCmd(args []string) {
 	outDir := fs.String("out", ".", "directory the BENCH_<case>.json files are written to")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max machines simulated concurrently (1 = sequential driver)")
 	ckptAt := fs.Duration("ckpt-at", 0, "also snapshot each case at this virtual instant (CKPT_<case>.json)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the suite to this file (requires -parallel 1)")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile taken after the suite to this file (requires -parallel 1)")
 	_ = fs.Parse(args)
 	opt := experiments.SuiteOptions{
-		Cases:    fs.Args(),
-		Seeds:    []int64{*seed},
-		Parallel: *parallel,
+		Cases:      fs.Args(),
+		Seeds:      []int64{*seed},
+		Parallel:   *parallel,
+		CPUProfile: *cpuProfile,
+		MemProfile: *memProfile,
 	}
 	if *seeds != "" {
 		var err error

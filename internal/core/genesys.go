@@ -264,6 +264,10 @@ type Genesys struct {
 	flight    *obs.Flight // always-on anomaly detectors (possibly nil)
 	rec       Recorder    // syscall stream tap for record/replay (possibly nil)
 	nextTrace uint64      // last assigned causal trace ID
+
+	// pwFree recycles pollWaiters (the callback-driven slot-poll state
+	// machines) so steady-state polling allocates nothing.
+	pwFree []*pollWaiter
 }
 
 // SetFlight attaches the machine's flight recorder; completed and
@@ -534,6 +538,119 @@ func (g *Genesys) populateSlot(w *gpu.Wavefront, lane int, req syscalls.Request,
 	return s
 }
 
+// pollWaiter drives one wavefront's WaitPoll loop as engine-loop
+// callbacks instead of process wake-ups. The classic loop costs two
+// goroutine channel switches per polling load (the atomic-load latency
+// sleep and the poll-interval sleep are both process resumptions); at
+// fleet scale that handoff traffic dominates host wall clock. The state
+// machine below replays the *identical* control flow — every sleep
+// becomes a callback scheduled at the same instant, in the same order,
+// performing the same memory-model mutations and random draws — so the
+// engine's event sequence is bit-for-bit unchanged, but the process
+// parks once and is resumed inline (sim.Engine.ResumeInline) by the tick
+// that observes completion: an N-interval wait costs N inline callbacks
+// and a single process switch instead of ~2N switches.
+//
+// phase encodes where in the loop body the next callback resumes:
+//
+//	phaseScan     — arriving at slots[i] (top of the inner loop body)
+//	phaseLoadDone — the polling load completed; settle L2 hit/miss
+//	phaseSettled  — load fully charged; apply the false-sharing penalty
+//	phaseChecked  — penalty charged; recheck the slot and advance
+type pollWaiter struct {
+	g     *Genesys
+	w     *gpu.Wavefront
+	slots []*Slot
+	i     int
+	phase int
+	done  bool
+	fn    func() // the tick closure, built once per waiter and reused
+}
+
+const (
+	phaseScan = iota
+	phaseLoadDone
+	phaseSettled
+	phaseChecked
+)
+
+// step runs the poll loop from the current position to its next sleep
+// point, returning the sleep delay, or finished=true when every slot is
+// done. A zero delay re-enters step inline, exactly like the zero-length
+// p.Sleep it replaces.
+func (pw *pollWaiter) step() (d sim.Time, finished bool) {
+	g := pw.g
+	for {
+		if pw.i == len(pw.slots) {
+			if pw.done {
+				return 0, true
+			}
+			pw.i, pw.done = 0, true
+			return g.cfg.PollInterval, false // w.P.Sleep(PollInterval)
+		}
+		s := pw.slots[pw.i]
+		switch pw.phase {
+		case phaseScan:
+			if s.State != SlotFinished {
+				pw.phase = phaseLoadDone
+				if d := g.Mem.PollLoadStart(); d > 0 {
+					return d, false // the atomic-load latency sleep
+				}
+				continue
+			}
+		case phaseLoadDone:
+			pw.phase = phaseSettled
+			if d := g.Mem.PollLoadFinish(); d > 0 {
+				return d, false // DRAM spill on an L2 miss
+			}
+			continue
+		case phaseSettled:
+			pw.phase = phaseChecked
+			if pen := g.falseSharingPenalty(s.ID); pen > 0 {
+				return pen, false // w.P.Sleep(pen)
+			}
+			continue
+		case phaseChecked:
+			pw.phase = phaseScan
+			if s.State != SlotFinished {
+				pw.done = false
+			}
+		}
+		pw.i++
+	}
+}
+
+// pollWait blocks w's process until every slot is finished, event-for-
+// event identical to the classic polling loop (see pollWaiter).
+func (g *Genesys) pollWait(w *gpu.Wavefront, slots []*Slot) {
+	var pw *pollWaiter
+	if n := len(g.pwFree); n > 0 {
+		pw = g.pwFree[n-1]
+		g.pwFree = g.pwFree[:n-1]
+	} else {
+		pw = &pollWaiter{}
+		pw.fn = func() {
+			d, finished := pw.step()
+			if finished {
+				pw.g.E.ResumeInline(pw.w.P)
+				return
+			}
+			pw.g.E.CallAfter(d, pw.fn)
+		}
+	}
+	pw.g, pw.w, pw.slots = g, w, slots
+	pw.i, pw.phase, pw.done = 0, phaseScan, true
+	// The first stretch — up to the first sleep — runs inline in process
+	// context, just as the classic loop's did.
+	d, finished := pw.step()
+	if !finished {
+		g.E.CallAfter(d, pw.fn)
+		w.P.Park("syscall poll")
+	}
+	pw.w, pw.slots = nil, nil
+	g.pwFree = append(g.pwFree, pw)
+}
+
 // awaitSlots waits (per mode) until every given blocking slot reaches
 // finished, then harvests results and frees the slots.
 func (g *Genesys) awaitSlots(w *gpu.Wavefront, slots []*Slot, mode WaitMode) []Result {
@@ -546,24 +663,7 @@ func (g *Genesys) awaitSlots(w *gpu.Wavefront, slots []*Slot, mode WaitMode) []R
 		g.Mem.AddPolledLines(len(slots))
 		w.BeginPoll()
 		defer w.EndPoll()
-		for {
-			done := true
-			for _, s := range slots {
-				if s.State != SlotFinished {
-					g.Mem.PollLoad(w.P)
-					if pen := g.falseSharingPenalty(s.ID); pen > 0 {
-						w.P.Sleep(pen)
-					}
-					if s.State != SlotFinished {
-						done = false
-					}
-				}
-			}
-			if done {
-				break
-			}
-			w.P.Sleep(g.cfg.PollInterval)
-		}
+		g.pollWait(w, slots)
 		g.Mem.AddPolledLines(-len(slots))
 	}
 	results := make([]Result, len(slots))

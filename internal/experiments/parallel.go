@@ -18,6 +18,9 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 )
@@ -35,6 +38,15 @@ type SuiteOptions struct {
 	// values <= 1 run every unit sequentially in the calling goroutine —
 	// byte-for-byte the pre-parallel driver.
 	Parallel int
+
+	// CPUProfile / MemProfile, when set, write pprof profiles covering
+	// exactly the simulation work of the suite (not flag parsing or
+	// artifact writes). Profiling requires Parallel == 1: a sequential
+	// run attributes every sample to one machine's hot path, which is
+	// the shape perf work needs — concurrent machines time-sharing the
+	// cores would smear the profile across worker goroutines.
+	CPUProfile string
+	MemProfile string
 }
 
 // SuiteCase is one completed (case, seed) work unit.
@@ -76,6 +88,9 @@ func (o SuiteOptions) normalize() (SuiteOptions, error) {
 	if o.Parallel < 1 {
 		o.Parallel = 1
 	}
+	if (o.CPUProfile != "" || o.MemProfile != "") && o.Parallel != 1 {
+		return o, fmt.Errorf("profiling requires -parallel 1 (got -parallel %d)", o.Parallel)
+	}
 	return o, nil
 }
 
@@ -116,10 +131,38 @@ func RunBenchSuite(opt SuiteOptions) (*SuiteResult, error) {
 		// The sequential path: today's behavior, one machine at a time
 		// in the calling goroutine.
 		workers = 1
+		if opt.CPUProfile != "" {
+			f, err := os.Create(opt.CPUProfile)
+			if err != nil {
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
+		}
 		for i := range units {
 			runUnit(i, 0)
 			if errs[i] != nil {
 				return nil, errs[i]
+			}
+		}
+		if opt.MemProfile != "" {
+			f, err := os.Create(opt.MemProfile)
+			if err != nil {
+				return nil, fmt.Errorf("memprofile: %w", err)
+			}
+			runtime.GC() // materialize final heap stats before the snapshot
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return nil, fmt.Errorf("memprofile: %w", werr)
 			}
 		}
 	} else {

@@ -106,25 +106,45 @@ func (c C) collect(w *gpu.Wavefront, req syscalls.Request) core.Result {
 	return res
 }
 
+// wgCollect is the per-work-group publication state of the collective
+// wrappers: a small ring of (result, leader-buffer) slots indexed by
+// each wavefront's running call count. Wavefronts proceed in barrier
+// lockstep, so a reader can lag the leader by at most one call and a
+// four-slot ring can never be overwritten before it is read. One typed
+// struct in shared memory replaces the old per-call fmt.Sprintf keys and
+// the unbounded result entries they accumulated in the Shared map —
+// measurable garbage at fleet syscall rates.
+type wgCollect struct {
+	seq map[int]int // per-wavefront running call index
+	res [4]core.Result
+	buf [4][]byte
+}
+
+// collectKey is the wgCollect entry's name in work-group shared memory.
+const collectKey = "__gclib_collect"
+
 // collectBuf is collect exposing the leader's request buffer, which in
 // the modeled machine is shared virtual memory: wrappers whose reply
 // arrives in the buffer copy it into each wavefront's local slice so Go
 // callers see the same bytes a real work-group would.
 func (c C) collectBuf(w *gpu.Wavefront, req syscalls.Request) (core.Result, []byte) {
 	sh := w.WG.Shared
-	seqKey := fmt.Sprintf("__gclib_seq_%d", w.ID)
-	seq, _ := sh[seqKey].(int)
-	sh[seqKey] = seq + 1
-	key := fmt.Sprintf("__gclib_res_%d", seq)
-	bufKey := key + "_buf"
+	cs, _ := sh[collectKey].(*wgCollect)
+	if cs == nil {
+		cs = &wgCollect{seq: make(map[int]int)}
+		sh[collectKey] = cs
+	}
+	seq := cs.seq[w.ID]
+	cs.seq[w.ID] = seq + 1
+	slot := seq & 3
 
 	if w.IsLeader() {
-		sh[key] = c.invoke(w, req)
-		sh[bufKey] = req.Buf
+		cs.res[slot] = c.invoke(w, req)
+		cs.buf[slot] = req.Buf
 	}
 	w.Barrier() // producer ordering's post-call barrier
-	out, _ := sh[key].(core.Result)
-	shared, _ := sh[bufKey].([]byte)
+	out := cs.res[slot]
+	shared := cs.buf[slot]
 	if req.Buf != nil && shared != nil && &req.Buf[0] != &shared[0] {
 		copy(req.Buf, shared)
 	}
@@ -481,20 +501,43 @@ func (c C) Recv(w *gpu.Wavefront, fd int, buf []byte, timeout sim.Time) (int, er
 // without blocking, PollForever blocks until something is ready, any
 // other value is a deadline after which an empty set returns.
 func (c C) Poll(w *gpu.Wavefront, fds []int, timeout sim.Time) ([]int, errno.Errno) {
-	buf := syscalls.EncodePollFDs(fds)
+	return c.PollWith(w, fds, timeout, nil)
+}
+
+// PollScratch is reusable storage for PollWith: a serving loop that
+// polls every tick keeps one per wavefront so readiness multiplexing
+// allocates nothing in steady state.
+type PollScratch struct {
+	buf   []byte
+	ready []int
+}
+
+// PollWith is Poll reusing s's storage for the request encoding and the
+// returned ready set (nil s behaves like Poll). The returned slice is
+// valid until the next PollWith on the same scratch.
+func (c C) PollWith(w *gpu.Wavefront, fds []int, timeout sim.Time, s *PollScratch) ([]int, errno.Errno) {
+	var scratch PollScratch
+	if s == nil {
+		s = &scratch
+	}
+	s.buf = syscalls.EncodePollFDsInto(s.buf, fds)
 	r, _ := c.collectBuf(w, syscalls.Request{
 		NR:   syscalls.SYS_poll,
 		Args: [6]uint64{uint64(len(fds)), uint64(timeout)},
-		Buf:  buf,
+		Buf:  s.buf,
 	})
 	if r.Err != errno.OK {
 		return nil, r.Err
 	}
-	var ready []int
-	for i, b := range syscalls.DecodePollRevents(buf, len(fds)) {
+	ready := s.ready[:0]
+	for i, b := range syscalls.DecodePollRevents(s.buf, len(fds)) {
 		if b != 0 {
 			ready = append(ready, i)
 		}
+	}
+	s.ready = ready
+	if len(ready) == 0 {
+		return nil, errno.OK
 	}
 	return ready, errno.OK
 }

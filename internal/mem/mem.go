@@ -140,9 +140,10 @@ func (m *System) OpTime(op Op) sim.Time {
 	panic("mem: unknown op")
 }
 
-// dram charges one DRAM controller access transferring n bytes; the
-// calling process waits for queueing delay, occupancy and fixed latency.
-func (m *System) dram(p *sim.Proc, n int64) {
+// dramStart reserves one DRAM controller access transferring n bytes at
+// the current instant and returns the delay until it completes (queueing,
+// occupancy and fixed latency).
+func (m *System) dramStart(n int64) sim.Time {
 	now := m.e.Now()
 	start := now
 	if m.ctrlFree > start {
@@ -157,7 +158,13 @@ func (m *System) dram(p *sim.Proc, n int64) {
 	}
 	m.ctrlFree = start + occupancy
 	m.DRAMAccesses.Inc()
-	p.Sleep(start + occupancy + m.cfg.DRAMAccessTime - now)
+	return start + occupancy + m.cfg.DRAMAccessTime - now
+}
+
+// dram charges one DRAM controller access transferring n bytes; the
+// calling process waits for queueing delay, occupancy and fixed latency.
+func (m *System) dram(p *sim.Proc, n int64) {
+	p.Sleep(m.dramStart(n))
 }
 
 // CPUAccess performs one uncached CPU access of a single line, through
@@ -243,5 +250,35 @@ func (m *System) PolledLines() int { return m.polledLines }
 // PollLoad performs one GPU polling load whose working set is the current
 // number of polled lines.
 func (m *System) PollLoad(p *sim.Proc) {
-	m.GPUAtomic(p, OpAtomicLoad, m.polledLines)
+	p.Sleep(m.PollLoadStart())
+	p.Sleep(m.PollLoadFinish())
+}
+
+// PollLoadStart / PollLoadFinish are the two phases of PollLoad split
+// for callback-driven pollers (the engine-loop poll wait in core): Start
+// reserves the L2 atomic unit at the current instant and returns the
+// delay until the load completes; Finish, called at that later instant,
+// settles the hit/miss outcome and returns any extra DRAM spill delay
+// (zero on a hit). Running Start at t, Finish at t+Start's delay, and
+// continuing after Finish's delay performs exactly the state mutations,
+// counter increments and random draws of PollLoad at exactly the same
+// instants.
+func (m *System) PollLoadStart() sim.Time {
+	m.AtomicOps.Inc()
+	now := m.e.Now()
+	start := now
+	if m.l2AtomicFree > start {
+		start = m.l2AtomicFree
+	}
+	m.l2AtomicFree = start + m.cfg.L2AtomicService
+	return start - now + m.OpTime(OpAtomicLoad)
+}
+
+func (m *System) PollLoadFinish() sim.Time {
+	if m.l2Miss(m.polledLines) {
+		m.L2Misses.Inc()
+		return m.dramStart(m.cfg.LineSize)
+	}
+	m.L2Hits.Inc()
+	return 0
 }

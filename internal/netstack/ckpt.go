@@ -47,11 +47,11 @@ func writeSocket(b *strings.Builder, sk *Socket) {
 	if sk.typ == Dgram {
 		h := fnv.New64a()
 		var bytes int
-		for _, dg := range sk.rq {
+		for _, dg := range sk.rq[sk.rqHead:] {
 			h.Write(dg.Data)
 			bytes += len(dg.Data)
 		}
-		fmt.Fprintf(b, "  rq depth=%d bytes=%d digest=%016x\n", len(sk.rq), bytes, h.Sum64())
+		fmt.Fprintf(b, "  rq depth=%d bytes=%d digest=%016x\n", sk.queued(), bytes, h.Sum64())
 		return
 	}
 	if sk.listening {
@@ -78,9 +78,9 @@ func writeSocket(b *strings.Builder, sk *Socket) {
 
 func writeStream(b *strings.Builder, label string, sk *Socket) {
 	h := fnv.New64a()
-	h.Write(sk.rbuf)
+	h.Write(sk.rbuf[sk.rbufHead:])
 	fmt.Fprintf(b, "%s remote=%d connected=%v rbuf=%d digest=%016x in_flight=%d "+
 		"peer_closed=%v fin_pending=%v reset=%v err=%d\n",
-		label, sk.remotePort, sk.connected, len(sk.rbuf), h.Sum64(), sk.inFlight,
+		label, sk.remotePort, sk.connected, sk.buffered(), h.Sum64(), sk.inFlight,
 		sk.peerClosed, sk.finPending, sk.reset, int(sk.connErr))
 }

@@ -9,6 +9,8 @@
 package netstack
 
 import (
+	"math/bits"
+
 	"genesys/internal/errno"
 	"genesys/internal/fault"
 	"genesys/internal/obs"
@@ -62,6 +64,15 @@ type Stack struct {
 	inject *fault.Injector
 	events *obs.EventLog
 
+	// Hot-path recycling: in-flight payloads and their delivery callbacks
+	// are drawn from these freelists so steady-state traffic allocates
+	// nothing per packet. bufFree is segregated by power-of-two capacity
+	// class; each class is bounded so a burst cannot pin memory forever.
+	bufFree  [bufClasses][][]byte
+	inflFree []*inflight
+	hopFree  []*streamHop
+	pollFree []*Poller
+
 	Sent    sim.Counter
 	Dropped sim.Counter
 
@@ -103,6 +114,52 @@ func New(e *sim.Engine, cfg Config) *Stack {
 // Config returns the stack configuration.
 func (s *Stack) Config() Config { return s.cfg }
 
+// bufClasses covers payload capacities up to MaxDatagram-scale (2^26).
+const bufClasses = 27
+
+// bufClass is the freelist index for a buffer of n bytes: the smallest
+// power-of-two capacity that holds it.
+func bufClass(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getBuf returns a payload buffer of length n from the pool (or a fresh
+// power-of-two-capacity allocation on a miss). Contents are undefined.
+func (s *Stack) getBuf(n int) []byte {
+	c := bufClass(n)
+	if c >= bufClasses {
+		return make([]byte, n)
+	}
+	fl := &s.bufFree[c]
+	if k := len(*fl); k > 0 {
+		b := (*fl)[k-1]
+		(*fl)[k-1] = nil
+		*fl = (*fl)[:k-1]
+		return b[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// PutBuf returns a datagram payload to the stack's pool. Consumers that
+// fully copy a Datagram's Data out (the recvfrom syscall does) call this
+// so the buffer is reused by a later send; anyone else may simply drop
+// the reference. Only pool-shaped (power-of-two capacity) buffers are
+// retained, and each size class is bounded.
+func (s *Stack) PutBuf(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bufClass(c)
+	if cls >= bufClasses || len(s.bufFree[cls]) >= 1024 {
+		return
+	}
+	s.bufFree[cls] = append(s.bufFree[cls], b[:c])
+}
+
 // SockType distinguishes datagram (UDP-like) from stream (TCP-like)
 // sockets.
 type SockType int
@@ -134,8 +191,10 @@ type Socket struct {
 	// blocking receive-side wait parks here.
 	rx *sim.Cond
 
-	// Datagram receive queue.
-	rq []Datagram
+	// Datagram receive queue; live entries are rq[rqHead:]. Pops advance
+	// the head instead of re-slicing so the backing array is reused.
+	rq     []Datagram
+	rqHead int
 
 	// handler, when set, receives arriving datagrams directly instead of
 	// queueing them — the callback mode event-driven clients (the fleet
@@ -151,6 +210,7 @@ type Socket struct {
 	connected  bool      // Connect completed (client side)
 	connErr    errno.Errno
 	rbuf       []byte    // stream receive buffer (bounded by StreamWindow)
+	rbufHead   int       // consumed prefix of rbuf; live bytes are rbuf[rbufHead:]
 	inFlight   int       // bytes sent, not yet landed in rbuf
 	peerClosed bool      // peer's FIN arrived: EOF after rbuf drains
 	finPending bool      // FIN arrived while data was still in flight
@@ -311,32 +371,92 @@ func (sk *Socket) SendTo(dstPort int, data []byte) error {
 		return errno.ECONNREFUSED // peer reset: surfaced, not retryable
 	}
 	st := sk.stack
-	payload := make([]byte, len(data))
+	payload := st.getBuf(len(data))
 	copy(payload, data)
-	dg := Datagram{SrcPort: sk.port, DstPort: dstPort, Data: payload, SentAt: st.e.Now()}
 	st.Sent.Inc()
-	st.e.CallAfter(st.delay(), func() {
-		if st.inject.Should(fault.NetDrop) {
-			st.noteDrop(dg) // lost in flight
-			return
-		}
-		dst, ok := st.ports[dg.DstPort]
-		if !ok || !dst.open || dst.typ != Dgram {
-			st.noteDrop(dg)
-			return
-		}
-		if dst.handler != nil {
-			dst.handler(dg) // callback-mode socket: no queue, no waiters
-			return
-		}
-		if len(dst.rq) >= st.cfg.RecvQueueCap {
-			st.noteDrop(dg)
-			return
-		}
-		dst.rq = append(dst.rq, dg)
-		dst.wakeReady()
-	})
+	st.sendDatagram(Datagram{SrcPort: sk.port, DstPort: dstPort, Data: payload, SentAt: st.e.Now()})
 	return nil
+}
+
+// inflight is one datagram on the wire: a pooled carrier whose pre-built
+// callback delivers it, so per-packet transmission costs no closure or
+// carrier allocation in steady state.
+type inflight struct {
+	st *Stack
+	dg Datagram
+	fn func()
+}
+
+// sendDatagram schedules dg's delivery after the wire latency using a
+// pooled carrier.
+func (s *Stack) sendDatagram(dg Datagram) {
+	var f *inflight
+	if k := len(s.inflFree); k > 0 {
+		f = s.inflFree[k-1]
+		s.inflFree[k-1] = nil
+		s.inflFree = s.inflFree[:k-1]
+	} else {
+		f = &inflight{st: s}
+		f.fn = f.deliver
+	}
+	f.dg = dg
+	s.e.CallAfter(s.delay(), f.fn)
+}
+
+// deliver lands one datagram: the original SendTo delivery logic, with
+// the carrier recycled up front (a handler may send again reentrantly)
+// and the payload recycled on every path where the stack still owns it.
+func (f *inflight) deliver() {
+	st, dg := f.st, f.dg
+	f.dg = Datagram{}
+	st.inflFree = append(st.inflFree, f)
+	if st.inject.Should(fault.NetDrop) {
+		st.noteDrop(dg) // lost in flight
+		st.PutBuf(dg.Data)
+		return
+	}
+	dst, ok := st.ports[dg.DstPort]
+	if !ok || !dst.open || dst.typ != Dgram {
+		st.noteDrop(dg)
+		st.PutBuf(dg.Data)
+		return
+	}
+	if dst.handler != nil {
+		dst.handler(dg) // callback-mode socket: no queue, no waiters
+		st.PutBuf(dg.Data)
+		return
+	}
+	if dst.queued() >= st.cfg.RecvQueueCap {
+		st.noteDrop(dg)
+		st.PutBuf(dg.Data)
+		return
+	}
+	if dst.rqHead > 0 && len(dst.rq) == cap(dst.rq) {
+		// Reclaim the popped prefix instead of growing the array.
+		n := copy(dst.rq, dst.rq[dst.rqHead:])
+		for i := n; i < len(dst.rq); i++ {
+			dst.rq[i] = Datagram{}
+		}
+		dst.rq = dst.rq[:n]
+		dst.rqHead = 0
+	}
+	dst.rq = append(dst.rq, dg)
+	dst.wakeReady()
+}
+
+// queued returns the datagram receive-queue depth.
+func (sk *Socket) queued() int { return len(sk.rq) - sk.rqHead }
+
+// popRQ removes and returns the oldest queued datagram.
+func (sk *Socket) popRQ() Datagram {
+	dg := sk.rq[sk.rqHead]
+	sk.rq[sk.rqHead] = Datagram{}
+	sk.rqHead++
+	if sk.rqHead == len(sk.rq) {
+		sk.rq = sk.rq[:0]
+		sk.rqHead = 0
+	}
+	return dg
 }
 
 // RecvFrom blocks until a datagram arrives and returns it. A Close from
@@ -364,10 +484,8 @@ func (sk *Socket) RecvFromTimeout(p *sim.Proc, d sim.Time) (Datagram, error) {
 		if !sk.open {
 			return Datagram{}, errno.EBADF
 		}
-		if len(sk.rq) > 0 {
-			dg := sk.rq[0]
-			sk.rq = sk.rq[1:]
-			return dg, nil
+		if sk.queued() > 0 {
+			return sk.popRQ(), nil
 		}
 		if deadline == 0 {
 			sk.rx.Wait(p, "udp recv")
@@ -384,17 +502,17 @@ func (sk *Socket) RecvFromTimeout(p *sim.Proc, d sim.Time) (Datagram, error) {
 // being queued for a blocking receiver. This lets very large client
 // populations (the fleet load generator) run as pure event-driven state
 // machines with no parked process per socket. fn runs in engine-callback
-// context and must not block; pass nil to restore queueing.
+// context and must not block; the datagram's Data is pooled storage that
+// is recycled when fn returns, so handlers must copy anything they keep.
+// Pass nil to restore queueing.
 func (sk *Socket) SetRecvHandler(fn func(Datagram)) { sk.handler = fn }
 
 // TryRecv returns a queued datagram without blocking.
 func (sk *Socket) TryRecv() (Datagram, bool) {
-	if !sk.open || sk.typ != Dgram || len(sk.rq) == 0 {
+	if !sk.open || sk.typ != Dgram || sk.queued() == 0 {
 		return Datagram{}, false
 	}
-	dg := sk.rq[0]
-	sk.rq = sk.rq[1:]
-	return dg, true
+	return sk.popRQ(), true
 }
 
 // QueueLen returns the receive queue depth (datagrams for Dgram sockets,
@@ -402,10 +520,10 @@ func (sk *Socket) TryRecv() (Datagram, bool) {
 func (sk *Socket) QueueLen() int {
 	switch {
 	case sk.typ == Dgram:
-		return len(sk.rq)
+		return sk.queued()
 	case sk.listening:
 		return len(sk.backlog)
 	default:
-		return len(sk.rbuf)
+		return sk.buffered()
 	}
 }

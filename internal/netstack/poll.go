@@ -17,14 +17,28 @@ import (
 // loops can keep one registered set the way epoll does.
 type Poller struct {
 	e      *sim.Engine
+	stack  *Stack
 	socks  []*Socket // registration order; Wait reports in this order
 	cond   *sim.Cond
 	closed bool
+
+	// scratch backs the ready set returned by Wait/TryWait; the returned
+	// slice is valid until the poller's next wait.
+	scratch []*Socket
 }
 
-// NewPoller returns an empty poller.
+// NewPoller returns an empty poller, recycling one retired by Close when
+// available — the readiness syscall builds a transient poller per call,
+// and the pool keeps that off the allocator at fleet poll rates.
 func (s *Stack) NewPoller() *Poller {
-	return &Poller{e: s.e, cond: sim.NewCond(s.e)}
+	if k := len(s.pollFree); k > 0 {
+		pg := s.pollFree[k-1]
+		s.pollFree[k-1] = nil
+		s.pollFree = s.pollFree[:k-1]
+		pg.closed = false
+		return pg
+	}
+	return &Poller{e: s.e, stack: s, cond: sim.NewCond(s.e)}
 }
 
 // Readable reports level-triggered readiness: a closed socket is always
@@ -36,12 +50,12 @@ func (sk *Socket) Readable() bool {
 		return true
 	}
 	if sk.typ == Dgram {
-		return len(sk.rq) > 0
+		return sk.queued() > 0
 	}
 	if sk.listening {
 		return len(sk.backlog) > 0
 	}
-	return len(sk.rbuf) > 0 || sk.peerClosed || sk.reset
+	return sk.buffered() > 0 || sk.peerClosed || sk.reset
 }
 
 // notifyWatchers wakes every poller multiplexing this socket, in
@@ -120,7 +134,8 @@ func (pg *Poller) Wait(p *sim.Proc, d sim.Time) ([]*Socket, error) {
 		if pg.closed {
 			return nil, errno.EBADF
 		}
-		if out := pg.ready(nil); len(out) > 0 {
+		if out := pg.ready(pg.scratch[:0]); len(out) > 0 {
+			pg.scratch = out
 			return out, nil
 		}
 		if deadline == 0 {
@@ -133,15 +148,23 @@ func (pg *Poller) Wait(p *sim.Proc, d sim.Time) ([]*Socket, error) {
 	}
 }
 
-// TryWait returns the currently-readable sockets without blocking.
+// TryWait returns the currently-readable sockets without blocking. The
+// returned slice is valid until the poller's next wait.
 func (pg *Poller) TryWait() []*Socket {
 	if pg.closed || len(pg.socks) == 0 {
 		return nil
 	}
-	return pg.ready(nil)
+	out := pg.ready(pg.scratch[:0])
+	pg.scratch = out
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Close unregisters every socket and wakes blocked waiters with EBADF.
+// A closed poller must not be used again: with no waiters left it is
+// recycled by the owning stack's next NewPoller.
 func (pg *Poller) Close() {
 	if pg.closed {
 		return
@@ -155,6 +178,19 @@ func (pg *Poller) Close() {
 			}
 		}
 	}
-	pg.socks = nil
+	for i := range pg.socks {
+		pg.socks[i] = nil
+	}
+	pg.socks = pg.socks[:0]
+	for i := range pg.scratch {
+		pg.scratch[i] = nil
+	}
+	pg.scratch = pg.scratch[:0]
 	pg.cond.Broadcast()
+	// Recycle only once nothing can still observe this poller: a waiter
+	// woken by the broadcast checks pg.closed when it resumes, and a
+	// recycled (reopened) poller would break that check.
+	if pg.stack != nil && pg.cond.Waiters() == 0 {
+		pg.stack.pollFree = append(pg.stack.pollFree, pg)
+	}
 }

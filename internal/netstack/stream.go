@@ -155,13 +155,16 @@ func (sk *Socket) AcceptTimeout(p *sim.Proc, d sim.Time) (*Socket, error) {
 	}
 }
 
+// buffered returns the bytes queued in the stream receive buffer.
+func (sk *Socket) buffered() int { return len(sk.rbuf) - sk.rbufHead }
+
 // window returns the free space in the peer's receive window as seen by
 // this sender: the configured window minus buffered and in-flight bytes.
 func (sk *Socket) window() int {
 	if sk.peer == nil {
 		return 0
 	}
-	return sk.stack.cfg.StreamWindow - len(sk.peer.rbuf) - sk.peer.inFlight
+	return sk.stack.cfg.StreamWindow - sk.peer.buffered() - sk.peer.inFlight
 }
 
 // sendStream queues up to window-many bytes of data for delivery to the
@@ -198,31 +201,65 @@ func (sk *Socket) sendStream(data []byte) (int, error) {
 	if n > len(data) {
 		n = len(data)
 	}
-	payload := make([]byte, n)
+	payload := st.getBuf(n)
 	copy(payload, data[:n])
 	peer.inFlight += n
 	d := st.delay()
 	if st.inject.Should(fault.NetDrop) {
 		d += 2 * st.delay() // retransmit: reliable stream turns loss into delay
 	}
-	st.e.CallAfter(d, func() {
-		peer.inFlight -= n
-		if !peer.open {
-			return // landed after receiver closed; bytes vanish with it
-		}
-		peer.rbuf = append(peer.rbuf, payload...)
-		st.StreamBytes.Add(int64(n))
-		if peer.finPending && peer.inFlight == 0 {
-			peer.finPending = false
-			peer.peerClosed = true // FIN was held back for this data
-			// EOF is visible to senders too (their next send is EPIPE), so
-			// wake window-waiters as well as receivers.
-			peer.wakeAll()
-			return
-		}
-		peer.wakeReady()
-	})
+	var h *streamHop
+	if k := len(st.hopFree); k > 0 {
+		h = st.hopFree[k-1]
+		st.hopFree[k-1] = nil
+		st.hopFree = st.hopFree[:k-1]
+	} else {
+		h = &streamHop{st: st}
+		h.fn = h.land
+	}
+	h.peer, h.data, h.n = peer, payload, n
+	st.e.CallAfter(d, h.fn)
 	return n, nil
+}
+
+// streamHop is one stream segment on the wire: a pooled carrier (see
+// inflight) whose pre-built callback lands the bytes in the peer's
+// receive buffer.
+type streamHop struct {
+	st   *Stack
+	peer *Socket
+	data []byte
+	n    int
+	fn   func()
+}
+
+// land delivers one stream segment to the receive buffer.
+func (h *streamHop) land() {
+	st, peer, data, n := h.st, h.peer, h.data, h.n
+	h.peer, h.data = nil, nil
+	st.hopFree = append(st.hopFree, h)
+	peer.inFlight -= n
+	if !peer.open {
+		st.PutBuf(data)
+		return // landed after receiver closed; bytes vanish with it
+	}
+	if peer.rbufHead > 0 && len(peer.rbuf)+n > cap(peer.rbuf) {
+		// Reclaim the consumed prefix instead of growing the buffer.
+		peer.rbuf = peer.rbuf[:copy(peer.rbuf, peer.rbuf[peer.rbufHead:])]
+		peer.rbufHead = 0
+	}
+	peer.rbuf = append(peer.rbuf, data[:n]...)
+	st.PutBuf(data)
+	st.StreamBytes.Add(int64(n))
+	if peer.finPending && peer.inFlight == 0 {
+		peer.finPending = false
+		peer.peerClosed = true // FIN was held back for this data
+		// EOF is visible to senders too (their next send is EPIPE), so
+		// wake window-waiters as well as receivers.
+		peer.wakeAll()
+		return
+	}
+	peer.wakeReady()
 }
 
 // Send writes all of data to the connection, blocking while the peer's
@@ -269,9 +306,13 @@ func (sk *Socket) RecvTimeout(p *sim.Proc, buf []byte, d sim.Time) (int, error) 
 		if !sk.open {
 			return 0, errno.EBADF
 		}
-		if len(sk.rbuf) > 0 {
-			n := copy(buf, sk.rbuf)
-			sk.rbuf = sk.rbuf[n:]
+		if sk.buffered() > 0 {
+			n := copy(buf, sk.rbuf[sk.rbufHead:])
+			sk.rbufHead += n
+			if sk.rbufHead == len(sk.rbuf) {
+				sk.rbuf = sk.rbuf[:0]
+				sk.rbufHead = 0
+			}
 			if peer := sk.peer; peer != nil && peer.open {
 				peer.txSpace.Signal() // window opened; wake a blocked sender
 				peer.notifyWatchers()

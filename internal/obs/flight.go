@@ -24,8 +24,10 @@ import (
 type Flight struct {
 	cfg FlightConfig
 
-	chains map[uint64]*chain
-	order  []uint64 // insertion (trace-claim) order, oldest first
+	chains    map[uint64]*chain
+	order     []uint64 // insertion (trace-claim) order, oldest first (live from orderHead)
+	orderHead int      // index of the oldest live entry in order
+	free      []*chain // evicted chains recycled to keep the tee allocation-free
 
 	byNR map[int]*Histogram // running per-NR total-latency distribution
 
@@ -148,20 +150,40 @@ func NewFlight(cfg FlightConfig) *Flight {
 
 // addSpan receives one flow-tagged span from the EventLog tee and files
 // it under its trace chain, evicting the oldest chain beyond ChainCap.
+// This is the hot tee off the engine loop: evicted chains (struct and
+// events backing array) go to a freelist and are reused for new traces,
+// and eviction advances a head index instead of re-slicing order, so
+// steady-state recording allocates nothing.
 func (f *Flight) addSpan(e Event) {
 	if f == nil || e.Flow == 0 {
 		return
 	}
 	c := f.chains[e.Flow]
 	if c == nil {
-		c = &chain{id: e.Flow, start: e.Start, end: e.End}
+		if n := len(f.free); n > 0 {
+			c = f.free[n-1]
+			f.free[n-1] = nil
+			f.free = f.free[:n-1]
+			*c = chain{id: e.Flow, events: c.events[:0], start: e.Start, end: e.End}
+		} else {
+			c = &chain{id: e.Flow, start: e.Start, end: e.End}
+		}
 		f.chains[e.Flow] = c
 		f.order = append(f.order, e.Flow)
-		for len(f.order) > f.cfg.ChainCap {
-			victim := f.order[0]
-			f.order = f.order[1:]
+		for len(f.order)-f.orderHead > f.cfg.ChainCap {
+			victim := f.order[f.orderHead]
+			f.orderHead++
+			if vc := f.chains[victim]; vc != nil {
+				f.free = append(f.free, vc)
+			}
 			delete(f.chains, victim)
 			f.evicted++
+		}
+		// Compact the dead prefix once it dominates, so order's footprint
+		// stays ~2×ChainCap instead of growing with every eviction.
+		if f.orderHead > f.cfg.ChainCap {
+			f.order = append(f.order[:0], f.order[f.orderHead:]...)
+			f.orderHead = 0
 		}
 	}
 	c.events = append(c.events, e)
@@ -273,7 +295,7 @@ func (f *Flight) NoteRequest(at sim.Time, ok bool) {
 // (newest last), for detectors with no direct trace identity.
 func (f *Flight) recentDone(n int) []uint64 {
 	var out []uint64
-	for i := len(f.order) - 1; i >= 0 && len(out) < n; i-- {
+	for i := len(f.order) - 1; i >= f.orderHead && len(out) < n; i-- {
 		if c := f.chains[f.order[i]]; c != nil && c.done {
 			out = append(out, c.id)
 		}
@@ -372,7 +394,7 @@ func (f *Flight) buildBundle(reason, detail string, at sim.Time, traces []uint64
 	if !first {
 		lo -= f.cfg.NeighborMargin
 		hi += f.cfg.NeighborMargin
-		for _, id := range f.order {
+		for _, id := range f.order[f.orderHead:] {
 			c := f.chains[id]
 			if c == nil || implicated[id] {
 				continue

@@ -16,11 +16,13 @@ type eventRec struct {
 }
 
 // TestInterleavingMatchesReferenceOrder is the determinism property test
-// for the split ready-queue/heap design: a random workload where
-// callbacks recursively schedule more work both at the current instant
-// (ready-queue path) and in the future (heap path), with a random subset
-// of timers canceled, must execute in exactly the (t, seq) total order a
-// single reference priority queue would produce.
+// for the three-container design (ready queue / near-term heap / timer
+// wheel): a random workload where callbacks recursively schedule more
+// work at the current instant (ready-queue path), in the near future
+// (heap path), and far enough out to park in every wheel level and the
+// overflow list, with a random subset of timers canceled from whichever
+// container holds them, must execute in exactly the (t, seq) total order
+// a single reference priority queue would produce.
 func TestInterleavingMatchesReferenceOrder(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -37,10 +39,19 @@ func TestInterleavingMatchesReferenceOrder(t *testing.T) {
 			for i := 0; i < n && count < maxEvents; i++ {
 				count++
 				var d Time
-				if rng.Intn(2) == 0 {
+				switch rng.Intn(6) {
+				case 0, 1:
 					d = 0 // same-instant: exercises the ready queue
-				} else {
-					d = Time(rng.Intn(40) + 1) // future: exercises the heap
+				case 2, 3:
+					d = Time(rng.Intn(40) + 1) // near future: the heap
+				case 4:
+					// Wheel range: level 0 through level 2 (cutoff ≤ d
+					// < full level-2 span), crossing cascade boundaries.
+					d = wheelCutoff + Time(rng.Int63n(int64(wheelGran)*wheelSlotsPer*wheelSlotsPer*wheelSlotsPer))
+				default:
+					// Beyond the level-2 span: the overflow list, re-filed
+					// at level-2 cascade boundaries.
+					d = Time(int64(wheelGran)*wheelSlotsPer*wheelSlotsPer*wheelSlotsPer + rng.Int63n(int64(wheelGran)*wheelSlotsPer*wheelSlotsPer))
 				}
 				sq := e.seq + 1 // seq the next schedule call will assign
 				rec := eventRec{e.now + d, sq}
@@ -309,6 +320,51 @@ func TestEngineStatsCounts(t *testing.T) {
 	}
 	if e.Pending() != 0 {
 		t.Fatalf("pending=%d at quiescence", e.Pending())
+	}
+}
+
+// TestSchedulePathsAllocFree pins the engine's three schedule paths at
+// zero steady-state allocations: heap inserts, same-instant ready-queue
+// inserts, and wheel-resident AtReuse/Cancel pairs. Containers are
+// warmed first so the assertion measures the hot path, not first-touch
+// slice growth.
+func TestSchedulePathsAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 4000; i++ {
+		e.CallAfter(Time(1+i%2000), fn)
+	}
+	for i := 0; i < 2000; i++ {
+		e.CallAfter(0, fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if avg := testing.AllocsPerRun(1000, func() { e.CallAfter(1500, fn) }); avg != 0 {
+		t.Errorf("heap CallAfter allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { e.CallAfter(0, fn) }); avg != 0 {
+		t.Errorf("ready-queue CallAfter allocates %.2f/op, want 0", avg)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Far-future arm/disarm — the fleet timeout pattern: the timer parks
+	// in the wheel, is canceled in O(1), and AtReuse recycles the Timer.
+	var tm *Timer
+	if avg := testing.AllocsPerRun(1000, func() {
+		tm = e.AtReuse(e.Now()+wheelCutoff+10*wheelGran, fn, tm)
+		tm.Cancel()
+	}); avg != 0 {
+		t.Errorf("wheel AtReuse+Cancel allocates %.2f/op, want 0", avg)
+	}
+	if e.WheelPending() != 0 {
+		t.Fatalf("wheel holds %d events after cancel loop", e.WheelPending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 

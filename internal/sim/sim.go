@@ -105,6 +105,11 @@ type Proc struct {
 	daemon  bool
 	killed  bool
 	started bool
+
+	// cw is this process's condition-variable waiter, embedded so Cond
+	// waits allocate nothing: a suspended process occupies at most one
+	// wait list at a time (see sync.go).
+	cw condWaiter
 }
 
 // Name returns the process name given at spawn time.
@@ -130,36 +135,48 @@ type event struct {
 	tmr *Timer
 }
 
-// timerInert marks a Timer whose event has fired or been canceled.
-const timerInert = -1
+// Timer.loc values. A non-negative loc is a wheel bucket id
+// (level*wheelSlotsPer + slot); the sentinels identify the other
+// containers an event can live in.
+const (
+	timerInert      = -1 // fired or canceled
+	timerInHeap     = -2 // heap, at index pos
+	timerInReady    = -3 // ready queue, at index pos
+	timerInOverflow = -4 // wheel overflow list, at index pos
+)
 
-// Timer is a handle to a scheduled callback that can be canceled. Its pos
-// field tracks the event's current position: >= 0 is a heap index,
-// <= -2 encodes ready-queue index -(pos+2), timerInert means done.
+// Timer is a handle to a scheduled callback that can be canceled. loc
+// identifies the container currently holding the event (heap, ready
+// queue, a wheel bucket, or the wheel overflow list) and pos its index
+// there, so cancellation is O(1) for every container but the heap.
 type Timer struct {
 	e   *Engine
 	pos int
+	loc int
 }
 
 // Cancel stops the timer's callback from running. The event is removed
 // from the engine immediately — its closure (and any state the closure
 // captures) is released at cancel time, not when the event's instant is
 // reached — so mass cancellation (e.g. retransmit watchdogs disarmed by
-// fast completions) leaves no dead weight in the heap. Canceling an
-// already-fired or already-canceled timer is a no-op.
+// fast completions) leaves no dead weight in the heap or the wheel.
+// Canceling an already-fired or already-canceled timer is a no-op.
 func (t *Timer) Cancel() {
-	if t == nil || t.e == nil || t.pos == timerInert {
+	if t == nil || t.e == nil || t.loc == timerInert {
 		return
 	}
 	e := t.e
 	e.stats.TimersCanceled++
-	if t.pos >= 0 {
+	switch t.loc {
+	case timerInHeap:
 		e.heapRemove(t.pos)
-	} else {
-		e.ready[-t.pos-2] = event{}
+	case timerInReady:
+		e.ready[t.pos] = event{}
 		e.readyHoles++
+	default: // a wheel bucket or the overflow list
+		e.wheelCancel(t)
 	}
-	t.pos = timerInert
+	t.loc = timerInert
 }
 
 // EngineStats counts the engine's own mechanics: how many events were
@@ -171,15 +188,18 @@ func (t *Timer) Cancel() {
 // is measurable, and are exported in the obs metrics registry under
 // sim.*.
 type EngineStats struct {
-	Scheduled      uint64 // events ever scheduled (heap + ready queue)
+	Scheduled      uint64 // events ever scheduled (heap, ready queue or wheel)
 	ReadyFast      uint64 // events that bypassed the heap via the ready queue
 	CallbacksRun   uint64 // callback events executed inline
 	ProcSwitches   uint64 // engine→process token handoffs (resumptions)
 	TimersCanceled uint64 // At/After timers canceled before firing
+	WheelScheduled uint64 // far-future events routed to the timer wheel
+	WheelCanceled  uint64 // timers canceled while wheel-resident (O(1) removals)
 	ProcsSpawned   uint64 // processes ever spawned
 	ProcsReaped    uint64 // completed processes removed from the proc table
 	HeapPeak       int    // high-water mark of the event heap
 	ReadyPeak      int    // high-water mark of live ready-queue entries
+	WheelPeak      int    // high-water mark of wheel-resident events
 }
 
 // Engine is the discrete-event simulation core.
@@ -200,7 +220,16 @@ type Engine struct {
 	readyHead  int
 	readyHoles int
 
+	// wh is the hierarchical timer wheel holding far-future events; its
+	// buckets drain into the heap before the clock can reach them (see
+	// wheel.go), so the heap stays shallow under fleet-scale timer loads.
+	wh timerWheel
+
 	yield chan struct{}
+
+	// inProc is true while a process holds the execution token; it guards
+	// ResumeInline against being called outside callback context.
+	inProc bool
 
 	procs    []*Proc // live (not yet completed) processes
 	live     int     // procs spawned and not yet done
@@ -230,64 +259,92 @@ func (e *Engine) Stats() EngineStats { return e.stats }
 // Pending returns the number of events currently scheduled and not yet
 // executed (canceled ready-queue holes excluded).
 func (e *Engine) Pending() int {
-	return len(e.heap) + (len(e.ready) - e.readyHead - e.readyHoles)
+	return len(e.heap) + e.wh.count + (len(e.ready) - e.readyHead - e.readyHoles)
 }
+
+// WheelPending returns the number of far-future events currently parked
+// in the timer wheel (not yet migrated to the near-term heap).
+func (e *Engine) WheelPending() int { return e.wh.count }
 
 // LiveProcs returns the number of processes spawned and not yet finished.
 func (e *Engine) LiveProcs() int { return e.live }
 
 // --- event containers ------------------------------------------------------
 
-func (e *Engine) less(i, j int) bool {
-	a, b := &e.heap[i], &e.heap[j]
+// The heap is 4-ary: pops dominate the near-term scheduler's cost, and a
+// wider node halves the sift depth — and with it the number of 40-byte
+// event moves and their GC write barriers — while the extra comparisons
+// per level stay in cache-resident memory. Because the key (t, seq) is a
+// strict total order, pop order (and therefore every simulation artifact)
+// is identical whatever the heap's arity or internal layout.
+const heapArity = 4
+
+func eventLess(a, b *event) bool {
 	if a.t != b.t {
 		return a.t < b.t
 	}
 	return a.seq < b.seq
 }
 
-func (e *Engine) swapEvents(i, j int) {
-	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	if t := e.heap[i].tmr; t != nil {
-		t.pos = i
-	}
-	if t := e.heap[j].tmr; t != nil {
-		t.pos = j
-	}
-}
-
 // siftUp restores the heap invariant upward from i; it reports whether
-// the entry moved.
+// the entry moved. Sifts move the hole, not pairwise swaps: each level
+// costs one event copy instead of three.
 func (e *Engine) siftUp(i int) bool {
+	h := e.heap
+	ev := h[i]
 	moved := false
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
+		parent := (i - 1) / heapArity
+		if !eventLess(&ev, &h[parent]) {
 			break
 		}
-		e.swapEvents(i, parent)
+		h[i] = h[parent]
+		if t := h[i].tmr; t != nil {
+			t.pos = i
+		}
 		i = parent
 		moved = true
+	}
+	if moved {
+		h[i] = ev
+		if t := ev.tmr; t != nil {
+			t.pos = i
+		}
 	}
 	return moved
 }
 
 func (e *Engine) siftDown(i int) {
-	n := len(e.heap)
+	h := e.heap
+	n := len(h)
+	ev := h[i]
 	for {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < n && e.less(l, least) {
-			least = l
+		c := heapArity*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && e.less(r, least) {
-			least = r
+		end := c + heapArity
+		if end > n {
+			end = n
 		}
-		if least == i {
-			return
+		least := c
+		for k := c + 1; k < end; k++ {
+			if eventLess(&h[k], &h[least]) {
+				least = k
+			}
 		}
-		e.swapEvents(i, least)
+		if !eventLess(&h[least], &ev) {
+			break
+		}
+		h[i] = h[least]
+		if t := h[i].tmr; t != nil {
+			t.pos = i
+		}
 		i = least
+	}
+	h[i] = ev
+	if t := ev.tmr; t != nil {
+		t.pos = i
 	}
 }
 
@@ -295,6 +352,7 @@ func (e *Engine) heapPush(ev event) {
 	e.heap = append(e.heap, ev)
 	i := len(e.heap) - 1
 	if ev.tmr != nil {
+		ev.tmr.loc = timerInHeap
 		ev.tmr.pos = i
 	}
 	e.siftUp(i)
@@ -310,9 +368,6 @@ func (e *Engine) heapPop() event {
 	e.heap[n] = event{} // release the vacated slot's references
 	e.heap = e.heap[:n]
 	if n > 0 {
-		if t := e.heap[0].tmr; t != nil {
-			t.pos = 0
-		}
 		e.siftDown(0)
 	}
 	return top
@@ -338,7 +393,8 @@ func (e *Engine) heapRemove(i int) {
 }
 
 // place routes a newly scheduled event: same-instant events append to the
-// ready queue (no heap traffic), future events go into the heap.
+// ready queue (no heap traffic), near-future events go into the heap, and
+// far-future events (at least wheelCutoff away) park in the timer wheel.
 func (e *Engine) place(ev event) {
 	if ev.t == e.now {
 		if e.readyHead == len(e.ready) && e.readyHead > 0 {
@@ -347,13 +403,18 @@ func (e *Engine) place(ev event) {
 			e.readyHead, e.readyHoles = 0, 0
 		}
 		if ev.tmr != nil {
-			ev.tmr.pos = -(len(e.ready) + 2)
+			ev.tmr.loc = timerInReady
+			ev.tmr.pos = len(e.ready)
 		}
 		e.ready = append(e.ready, ev)
 		e.stats.ReadyFast++
 		if live := len(e.ready) - e.readyHead - e.readyHoles; live > e.stats.ReadyPeak {
 			e.stats.ReadyPeak = live
 		}
+		return
+	}
+	if ev.t-e.now >= wheelCutoff {
+		e.wheelInsert(ev)
 		return
 	}
 	e.heapPush(ev)
@@ -372,7 +433,7 @@ func (e *Engine) scheduleTimer(t Time, fn func()) *Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
 	}
-	tm := &Timer{e: e, pos: timerInert}
+	tm := &Timer{e: e, loc: timerInert}
 	e.seq++
 	e.stats.Scheduled++
 	e.place(event{t: t, seq: e.seq, fn: fn, tmr: tm})
@@ -390,6 +451,24 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 // After schedules fn to run as a callback d from now.
 func (e *Engine) After(d Time, fn func()) *Timer {
 	return e.scheduleTimer(e.now+d, fn)
+}
+
+// AtReuse is At recycling tm — a Timer from a previous arm that has
+// since fired or been canceled — instead of allocating a new one. A nil,
+// foreign, or still-armed tm falls back to a fresh Timer, so callers can
+// unconditionally store the result. Code that re-arms one deadline per
+// request (the fleet session timeout) stays allocation-free this way.
+func (e *Engine) AtReuse(t Time, fn func(), tm *Timer) *Timer {
+	if tm == nil || tm.e != e || tm.loc != timerInert {
+		return e.scheduleTimer(t, fn)
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	e.stats.Scheduled++
+	e.place(event{t: t, seq: e.seq, fn: fn, tmr: tm})
+	return tm
 }
 
 // CallAt schedules fn to run as a callback at absolute time t, with no
@@ -483,8 +562,10 @@ func (e *Engine) resume(p *Proc) {
 		return
 	}
 	e.stats.ProcSwitches++
+	e.inProc = true
 	p.wake <- struct{}{}
 	<-e.yield
+	e.inProc = false
 }
 
 // switchToEngine gives the token back to the engine and blocks until the
@@ -535,6 +616,31 @@ func (p *Proc) unblock() {
 	p.state = procRunnable
 }
 
+// Park suspends the process with no scheduled wake-up until an engine
+// callback resumes it with Engine.ResumeInline. Unlike Cond.Wait, the
+// resumption is not a scheduled event: the process continues inside the
+// event that resumed it, at the same (t, seq) position. reason is shown
+// in deadlock reports.
+func (p *Proc) Park(reason string) {
+	p.block(reason)
+}
+
+// ResumeInline hands the execution token to a parked process from inside
+// a running callback: p continues from Park within the current event —
+// exactly as if the event had been a resumption of p itself — rather
+// than via a freshly scheduled event, so the engine's event sequence is
+// unchanged by the park/resume round trip. It must be called from
+// callback context (the engine loop), never from a process.
+func (e *Engine) ResumeInline(p *Proc) {
+	if e.inProc {
+		panic("sim: ResumeInline called from process context")
+	}
+	if p.state != procBlocked {
+		panic(fmt.Sprintf("sim: ResumeInline of %s proc %q", []string{"new", "runnable", "running", "blocked", "done"}[p.state], p.name))
+	}
+	e.resume(p)
+}
+
 // ErrDeadlock is returned by Run when no events remain but non-daemon
 // processes are still blocked.
 type ErrDeadlock struct {
@@ -576,6 +682,19 @@ func (e *Engine) RunUntil(limit Time) error {
 		}
 		hasReady := e.readyHead < len(e.ready)
 		hasHeap := len(e.heap) > 0
+		// Bring the wheel's drain frontier past the next committed instant:
+		// wheel residents are strictly beyond the current time (ready-queue
+		// entries can never race them), so draining against the heap head —
+		// or, with an empty heap, advancing until a drain fills it — is
+		// enough to keep the global (t, seq) order exact.
+		if e.wh.count > 0 {
+			if hasHeap {
+				e.wheelCatchUp(e.heap[0].t)
+			} else if !hasReady {
+				e.wheelAdvanceUntilHeap()
+				hasHeap = len(e.heap) > 0
+			}
+		}
 		if !hasReady && !hasHeap {
 			if e.liveUser > 0 {
 				return e.deadlockErr()
@@ -611,7 +730,7 @@ func (e *Engine) RunUntil(limit Time) error {
 		}
 		e.now = ev.t
 		if ev.tmr != nil {
-			ev.tmr.pos = timerInert
+			ev.tmr.loc = timerInert
 		}
 		if ev.p != nil {
 			e.resume(ev.p)
@@ -650,4 +769,5 @@ func (e *Engine) Shutdown() {
 	e.heap = nil
 	e.ready = nil
 	e.readyHead, e.readyHoles = 0, 0
+	e.wheelReset()
 }

@@ -11,11 +11,25 @@ type Cond struct {
 
 // condWaiter is one blocked process; tmr is non-nil for deadline-bounded
 // waits (WaitDeadline) and is canceled when a Signal/Broadcast wins the
-// race against the deadline.
+// race against the deadline. A process waits on at most one Cond at a
+// time (it is suspended while queued), so each Proc embeds its one
+// condWaiter and every wait — including the deadline timer, via
+// AtReuse — is allocation-free in steady state.
 type condWaiter struct {
 	p        *Proc
+	c        *Cond // the cond this waiter is (or was last) queued on
 	tmr      *Timer
+	fn       func() // pre-built deadlineFire closure
 	timedOut bool
+}
+
+// deadlineFire is the timer body for WaitDeadline: if the waiter is
+// still queued when the deadline arrives, the wait ends as a timeout.
+func (w *condWaiter) deadlineFire() {
+	if w.c.remove(w) {
+		w.timedOut = true
+		w.p.unblock()
+	}
 }
 
 // NewCond returns a condition variable bound to e.
@@ -24,7 +38,9 @@ func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 // Wait blocks p until another activity calls Signal or Broadcast. The
 // reason string appears in deadlock reports.
 func (c *Cond) Wait(p *Proc, reason string) {
-	c.waiters = append(c.waiters, &condWaiter{p: p})
+	w := &p.cw
+	w.p, w.c = p, c
+	c.waiters = append(c.waiters, w)
 	p.block(reason)
 }
 
@@ -39,13 +55,13 @@ func (c *Cond) WaitDeadline(p *Proc, reason string, deadline Time) (timedOut boo
 	if deadline <= c.e.now {
 		return true
 	}
-	w := &condWaiter{p: p}
-	w.tmr = c.e.At(deadline, func() {
-		if c.remove(w) {
-			w.timedOut = true
-			w.p.unblock()
-		}
-	})
+	w := &p.cw
+	w.p, w.c = p, c
+	w.timedOut = false
+	if w.fn == nil {
+		w.fn = w.deadlineFire
+	}
+	w.tmr = c.e.AtReuse(deadline, w.fn, w.tmr)
 	c.waiters = append(c.waiters, w)
 	p.block(reason)
 	w.tmr.Cancel() // no-op when the deadline already fired
@@ -57,7 +73,10 @@ func (c *Cond) WaitDeadline(p *Proc, reason string, deadline Time) (timedOut boo
 func (c *Cond) remove(w *condWaiter) bool {
 	for i, cw := range c.waiters {
 		if cw == w {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			n := len(c.waiters) - 1
+			copy(c.waiters[i:], c.waiters[i+1:])
+			c.waiters[n] = nil
+			c.waiters = c.waiters[:n]
 			return true
 		}
 	}
@@ -70,16 +89,21 @@ func (c *Cond) Signal() {
 		return
 	}
 	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = nil
+	c.waiters = c.waiters[:n]
 	w.tmr.Cancel()
 	w.p.unblock()
 }
 
-// Broadcast wakes every waiting process.
+// Broadcast wakes every waiting process. The list's backing array is
+// kept for reuse; woken processes cannot re-enqueue until the engine
+// resumes them, after this loop has finished with it.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	c.waiters = c.waiters[:0]
+	for i, w := range ws {
+		ws[i] = nil
 		w.tmr.Cancel()
 		w.p.unblock()
 	}

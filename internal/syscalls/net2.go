@@ -92,9 +92,24 @@ const PollFDSize = 5
 // EncodePollFDs lays out the poll(2) request buffer for the given fds:
 // count little-endian u32 fds followed by count revents bytes (zeroed).
 func EncodePollFDs(fds []int) []byte {
-	buf := make([]byte, len(fds)*PollFDSize)
+	return EncodePollFDsInto(nil, fds)
+}
+
+// EncodePollFDsInto is EncodePollFDs writing into buf's storage when it
+// is large enough (allocating otherwise), for callers that poll in a
+// loop and reuse one scratch buffer.
+func EncodePollFDsInto(buf []byte, fds []int) []byte {
+	n := len(fds) * PollFDSize
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]byte, n)
+	}
 	for i, fd := range fds {
 		binary.LittleEndian.PutUint32(buf[i*4:], uint32(fd))
+	}
+	for i := len(fds) * 4; i < n; i++ {
+		buf[i] = 0
 	}
 	return buf
 }

@@ -596,6 +596,7 @@ func sysRecvfrom(c *Ctx, r *Request) {
 	}
 	netSpan(c, "recvfrom", r, sock.Port(), t0)
 	n := copy(r.Buf, dg.Data)
+	c.OS.Net.PutBuf(dg.Data) // fully copied out; recycle the payload
 	r.Ret = int64(n)
 	r.OutArgs[0] = uint64(dg.SrcPort)
 }

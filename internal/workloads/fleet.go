@@ -132,6 +132,11 @@ type fleetHarness struct {
 	streamLeft int  // stream sessions not yet resolved
 	stop       bool // read by the GPU serving loops each poll tick
 	sessions   int64
+
+	// sessFree recycles finished UDP session machines — struct, key
+	// slice, timer and callbacks — so connection churn at fleet scale
+	// costs no per-session allocation beyond the socket.
+	sessFree []*udpSession
 }
 
 // latSample is one completed request's latency plus its virtual-time
@@ -158,6 +163,10 @@ func (h *fleetHarness) maybeStop() {
 
 // udpSession is one proc-free UDP client: engine callbacks (datagram
 // arrival, timeout timer) drive it through its pre-drawn request list.
+// Sessions recycle through the harness freelist; the hot path reuses the
+// request scratch buffer, the timeout Timer (AtReuse) and two callbacks
+// built once per machine — onReply and the timeout closure — so a
+// session's whole request sequence allocates nothing.
 type udpSession struct {
 	h    *fleetHarness
 	sock *netstack.Socket
@@ -167,6 +176,27 @@ type udpSession struct {
 	t0   sim.Time
 	tmr  *sim.Timer
 	port int // server shard port, fixed per session
+
+	req     []byte // request encode scratch (SendTo copies it)
+	armSeq  uint32 // seq captured when the timeout was armed
+	fireFn  func() // timeout callback; reads armSeq
+	replyFn func(netstack.Datagram)
+}
+
+// getSession returns a recycled (or fresh) session machine wired to h.
+func (h *fleetHarness) getSession() *udpSession {
+	if n := len(h.sessFree); n > 0 {
+		s := h.sessFree[n-1]
+		h.sessFree[n-1] = nil
+		h.sessFree = h.sessFree[:n-1]
+		// s.tmr is kept: it is inert by finish time and AtReuse recycles it.
+		s.idx, s.seq, s.t0 = 0, 0, 0
+		return s
+	}
+	s := &udpSession{h: h}
+	s.fireFn = func() { s.onTimeout(s.armSeq) }
+	s.replyFn = s.onReply
+	return s
 }
 
 // start binds the session socket and fires the first request. A bind
@@ -178,7 +208,7 @@ func (s *udpSession) start() bool {
 		s.h.udp.Refused++
 		return false
 	}
-	s.sock.SetRecvHandler(s.onReply)
+	s.sock.SetRecvHandler(s.replyFn)
 	s.sendNext()
 	return true
 }
@@ -193,7 +223,8 @@ func (s *udpSession) sendNext() {
 	s.seq++
 	s.t0 = h.m.E.Now()
 	h.udp.Offered++
-	if err := s.sock.SendTo(s.port, mcRequest(s.seq, k[0], k[1])); err != nil {
+	s.req = mcRequestInto(s.req, s.seq, k[0], k[1])
+	if err := s.sock.SendTo(s.port, s.req); err != nil {
 		// EAGAIN / injected reset: the request never entered the wire.
 		h.udp.Refused++
 		h.udp.Offered--
@@ -201,8 +232,8 @@ func (s *udpSession) sendNext() {
 		s.sendNext()
 		return
 	}
-	seq := s.seq
-	s.tmr = h.m.E.At(s.t0+h.cfg.Timeout, func() { s.onTimeout(seq) })
+	s.armSeq = s.seq
+	s.tmr = h.m.E.AtReuse(s.t0+h.cfg.Timeout, s.fireFn, s.tmr)
 }
 
 func (s *udpSession) onReply(dg netstack.Datagram) {
@@ -235,7 +266,9 @@ func (s *udpSession) onTimeout(seq uint32) {
 
 func (s *udpSession) finish() {
 	s.sock.Close()
+	s.sock = nil
 	s.h.liveUDP--
+	s.h.sessFree = append(s.h.sessFree, s)
 	s.h.maybeStop()
 }
 
@@ -262,6 +295,7 @@ func (h *fleetHarness) runStreamWorker(p *sim.Proc, id int) {
 	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Buckets-1))
 	replySize := mcReplyHdr + cfg.ValueBytes
 	buf := make([]byte, 4096)
+	req := make([]byte, mcHdrSize)
 	for sess := id; sess < cfg.StreamSessions; sess += cfg.StreamWorkers {
 		p.Sleep(sim.Time(rng.ExpFloat64() * float64(cfg.StreamInterarrival) * float64(cfg.StreamWorkers)))
 		h.sessions++
@@ -280,7 +314,8 @@ func (h *fleetHarness) runStreamWorker(p *sim.Proc, id int) {
 			seq++
 			t0 := p.Now()
 			h.stream.Offered++
-			if _, err := sk.Send(p, mcRequest(seq, bucket, elem)); err != nil {
+			req = mcRequestInto(req, seq, bucket, elem)
+			if _, err := sk.Send(p, req); err != nil {
 				h.stream.Drops++
 				h.noteRequest(p.Now(), false)
 				break
@@ -446,19 +481,21 @@ func StartFleet(m *platform.Machine, cfg FleetConfig) (*FleetRun, error) {
 		for i := 0; i < cfg.UDPSessions; i++ {
 			p.Sleep(sim.Time(rng.ExpFloat64() * float64(cfg.MeanInterarrival)))
 			h.sessions++
-			keys := make([][2]int, cfg.ReqsPerSession)
-			for r := range keys {
-				keys[r] = [2]int{int(zipf.Uint64()), rng.Intn(cfg.ElemsPerBucket)}
+			s := h.getSession()
+			if cap(s.keys) < cfg.ReqsPerSession {
+				s.keys = make([][2]int, cfg.ReqsPerSession)
 			}
-			s := &udpSession{
-				h: h, keys: keys,
-				// Shards are load-balanced uniformly; only key popularity
-				// is Zipf-skewed.
-				port: FleetUDPBase + rng.Intn(nShards),
+			s.keys = s.keys[:cfg.ReqsPerSession]
+			for r := range s.keys {
+				s.keys[r] = [2]int{int(zipf.Uint64()), rng.Intn(cfg.ElemsPerBucket)}
 			}
+			// Shards are load-balanced uniformly; only key popularity is
+			// Zipf-skewed.
+			s.port = FleetUDPBase + rng.Intn(nShards)
 			h.liveUDP++
 			if !s.start() {
 				h.liveUDP--
+				h.sessFree = append(h.sessFree, s)
 			}
 		}
 		h.genDone = true

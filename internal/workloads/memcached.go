@@ -146,7 +146,18 @@ func (t *mcTable) get(bucket, elem int) ([]byte, int) {
 }
 
 func mcRequest(seq uint32, bucket, elem int) []byte {
-	b := make([]byte, mcHdrSize)
+	return mcRequestInto(nil, seq, bucket, elem)
+}
+
+// mcRequestInto encodes a GET request into b's storage when it is large
+// enough (allocating otherwise) — the per-request fast path for clients
+// that reuse one scratch buffer.
+func mcRequestInto(b []byte, seq uint32, bucket, elem int) []byte {
+	if cap(b) >= mcHdrSize {
+		b = b[:mcHdrSize]
+	} else {
+		b = make([]byte, mcHdrSize)
+	}
 	b[0] = mcOpGet
 	binary.LittleEndian.PutUint32(b[1:], seq)
 	binary.LittleEndian.PutUint32(b[5:], uint32(bucket))
@@ -155,7 +166,18 @@ func mcRequest(seq uint32, bucket, elem int) []byte {
 }
 
 func mcReply(seq uint32, value []byte) []byte {
-	b := make([]byte, mcReplyHdr+len(value))
+	return mcReplyInto(nil, seq, value)
+}
+
+// mcReplyInto is mcReply reusing b's storage when possible (see
+// mcRequestInto).
+func mcReplyInto(b []byte, seq uint32, value []byte) []byte {
+	n := mcReplyHdr + len(value)
+	if cap(b) >= n {
+		b = b[:n]
+	} else {
+		b = make([]byte, n)
+	}
 	b[0] = 0
 	binary.LittleEndian.PutUint32(b[1:], seq)
 	copy(b[mcReplyHdr:], value)
@@ -388,11 +410,15 @@ func fleetUDPServerFn(c gclib.C, table *mcTable, wgFDs [][]int,
 	return func(w *gpu.Wavefront) {
 		fds := wgFDs[w.WG.ID]
 		buf := make([]byte, mcHdrSize)
+		// Per-wavefront scratch: the poll encoding/ready set and the reply
+		// buffer are reused across every request the shard ever serves.
+		var ps gclib.PollScratch
+		reply := make([]byte, 0, mcReplyHdr+valueBytes)
 		for !*stop {
 			// One timed poll bounds the stop-flag latency; nonblocking
 			// re-polls then drain the burst, so a backlogged shard is served
 			// at syscall rate rather than one datagram per tick.
-			ready, err := c.Poll(w, fds, tick)
+			ready, err := c.PollWith(w, fds, tick, &ps)
 			for err == errno.OK && len(ready) > 0 && !*stop {
 				for _, idx := range ready {
 					n, src, rerr := c.RecvFromTimeout(w, fds[idx], buf, tick)
@@ -405,9 +431,10 @@ func fleetUDPServerFn(c gclib.C, table *mcTable, wgFDs [][]int,
 					bucket := int(binary.LittleEndian.Uint32(buf[5:]))
 					elem := int(binary.LittleEndian.Uint32(buf[9:]))
 					val, _ := table.get(bucket, elem%valueElems(table, bucket))
-					c.SendTo(w, fds[idx], mcReply(seq, val), src)
+					reply = mcReplyInto(reply, seq, val)
+					c.SendTo(w, fds[idx], reply, src)
 				}
-				ready, err = c.Poll(w, fds, 0)
+				ready, err = c.PollWith(w, fds, 0, &ps)
 			}
 			if err == errno.EINTR || err == errno.EAGAIN {
 				// A watchdog-aborted poll under fault injection; the
@@ -436,9 +463,13 @@ func fleetStreamServerFn(c gclib.C, table *mcTable, lfd int,
 		accum := map[int][]byte{}
 		buf := make([]byte, 256)
 		timeout := tick
+		// Per-wavefront scratch reused every round (see fleetUDPServerFn).
+		var ps gclib.PollScratch
+		var reply []byte
+		fds := []int{lfd}
 		for !*stop {
-			fds := append([]int{lfd}, conns...)
-			ready, err := c.Poll(w, fds, timeout)
+			fds = append(fds[:1], conns...)
+			ready, err := c.PollWith(w, fds, timeout, &ps)
 			if err == errno.EINTR || err == errno.EAGAIN {
 				continue // transient (watchdog abort); keep serving
 			}
@@ -473,20 +504,25 @@ func fleetStreamServerFn(c gclib.C, table *mcTable, lfd int,
 					dead = append(dead, cfd)
 					continue
 				}
-				accum[cfd] = append(accum[cfd], buf[:n]...)
-				for len(accum[cfd]) >= mcHdrSize {
-					req := accum[cfd][:mcHdrSize]
+				b := append(accum[cfd], buf[:n]...)
+				off := 0
+				for len(b)-off >= mcHdrSize {
+					req := b[off : off+mcHdrSize]
 					w.ComputeTime(scan)
 					seq := binary.LittleEndian.Uint32(req[1:])
 					bucket := int(binary.LittleEndian.Uint32(req[5:]))
 					elem := int(binary.LittleEndian.Uint32(req[9:]))
 					val, _ := table.get(bucket, elem%valueElems(table, bucket))
-					accum[cfd] = accum[cfd][mcHdrSize:]
-					if _, serr := c.Send(w, cfd, mcReply(seq, val)); serr != errno.OK {
+					off += mcHdrSize
+					reply = mcReplyInto(reply, seq, val)
+					if _, serr := c.Send(w, cfd, reply); serr != errno.OK {
 						dead = append(dead, cfd)
 						break
 					}
 				}
+				// Keep the unconsumed tail at the front so the accumulator's
+				// storage is reused instead of re-sliced away.
+				accum[cfd] = b[:copy(b, b[off:])]
 			}
 			for _, cfd := range dead {
 				c.Close(w, cfd)
